@@ -1,0 +1,54 @@
+"""Figure 11: BERT-base across 12 datasets (V100, fp32, batch 32).
+
+Varying-sequence-length sparsity only.  Paper claims: PIT 1.3-4.9x over
+PyTorch, 1.8-3.5x over PyTorch-S (32-token padding hurts on short GLUE
+sequences), 1.2-4.5x over DeepSpeed, 1.1-1.9x over TurboTransformers (the
+strongest baseline: dynamic length-bucketed batching).
+"""
+
+import pytest
+
+from repro.hw import V100
+from repro.models import bert_workload
+from repro.sparsity import BERT_DATASETS
+
+from .conftest import paper_note
+from .e2e_common import lineup_rows, speedup_summary
+
+LINEUP = ("PyTorch", "PyTorch-S", "DeepSpeed", "TurboTransformer", "PIT")
+
+
+@pytest.mark.benchmark(group="fig11")
+def test_fig11_bert_datasets(benchmark, print_table):
+    configs = [
+        (name, bert_workload(name, 32, seed=0)) for name in BERT_DATASETS
+    ]
+    rows, speedups = benchmark.pedantic(
+        lambda: lineup_rows(configs, LINEUP, V100, "float32"),
+        rounds=1, iterations=1,
+    )
+    print(
+        paper_note(
+            "Figure 11 — BERT-base on 12 datasets, fp32, batch=32 (V100)",
+            "PIT 1.3-4.9x over PyTorch, 1.8-3.5x over PyTorch-S, 1.2-4.5x "
+            "over DeepSpeed, 1.1-1.9x over TurboTransformers",
+        )
+    )
+    print_table(["dataset"] + list(LINEUP), rows)
+    print(speedup_summary(speedups))
+
+    # PIT wins on every dataset.
+    for dataset, table in speedups.items():
+        for name, value in table.items():
+            assert value > 1.0, (dataset, name, value)
+
+    # PyTorch-S suffers most on the shortest-sequence dataset (cola):
+    # padding 11-token sentences to 32 wastes ~2/3 of the compute.
+    assert speedups["cola"]["PyTorch-S"] > speedups["imdb"]["PyTorch-S"]
+
+    # PyTorch's worst case is on a GLUE task (high padding variance),
+    # not on the long-document sets whose lengths clip at the max.
+    from repro.sparsity import GLUE_TASKS
+
+    worst_pt = max(speedups, key=lambda d: speedups[d]["PyTorch"])
+    assert worst_pt in GLUE_TASKS

@@ -1,0 +1,63 @@
+"""Figure 12: Longformer inference latency and memory (V100, fp32).
+
+Dynamic sparse attention: sliding window + input-dependent global tokens.
+Paper claims: PIT up to 1.9x over PyTorch, 1.8x over Longformer-S (its
+hand-decomposed kernels avoid waste but pay heavy rearrangement), 2.4x over
+PyTorch-S and DeepSpeed (both Triton block-sparse); PyTorch-S and DeepSpeed
+OOM at sequence length 4096; PIT uses the least memory.
+"""
+
+import pytest
+
+from repro.hw import V100
+from repro.models import longformer_workload
+from repro.runtime import run_lineup
+
+from .conftest import paper_note
+from .e2e_common import lineup_rows, speedup_summary
+
+LINEUP = ("PyTorch", "PyTorch-S", "Longformer-S", "DeepSpeed", "PIT")
+#: Chosen so the 32GB V100 capacity lands between the dense and the
+#: Triton-temporary footprints at 4096 tokens (the figure's OOM boundary).
+BATCH = 16
+CONFIGS = (("base", 2048), ("large", 2048), ("base", 4096), ("large", 4096))
+
+
+@pytest.mark.benchmark(group="fig12")
+def test_fig12_longformer(benchmark, print_table):
+    configs = [
+        (f"{size}-{seq}", longformer_workload(size, seq, batch_size=BATCH, seed=0))
+        for size, seq in CONFIGS
+    ]
+    rows, speedups = benchmark.pedantic(
+        lambda: lineup_rows(configs, LINEUP, V100, "float32"),
+        rounds=1, iterations=1,
+    )
+    print(
+        paper_note(
+            f"Figure 12 — Longformer, fp32, batch={BATCH} (V100)",
+            "PIT fastest; Longformer-S best baseline (no waste, but "
+            "rearrangement overhead); PyTorch-S/DeepSpeed OOM at 4096",
+        )
+    )
+    print_table(["config"] + list(LINEUP), rows)
+    print(speedup_summary(speedups))
+
+    for table in speedups.values():
+        for name, value in table.items():
+            assert value > 1.0, (name, value)
+        # Longformer-S is the closest baseline (pattern-specialized).
+        assert table["Longformer-S"] == min(table.values())
+
+    # The OOM boundary: the block-sparse systems crash at large-4096.
+    reports = run_lineup(
+        longformer_workload("large", 4096, batch_size=BATCH, seed=0),
+        LINEUP, V100, "float32",
+    )
+    by_name = {r.backend: r for r in reports}
+    assert by_name["PyTorch-S"].oom
+    assert by_name["DeepSpeed"].oom
+    assert by_name["PIT"].ok
+    # PIT uses the least memory among successful runs.
+    ok = [r for r in reports if r.ok]
+    assert by_name["PIT"].peak_mem_gib == min(r.peak_mem_gib for r in ok)

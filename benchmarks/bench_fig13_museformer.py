@@ -1,0 +1,86 @@
+"""Figure 13: Museformer inference latency and memory (V100, fp32).
+
+Fine/coarse-grained music attention over sequences of 1k-32k tokens.
+Paper claims: PIT 2.5x over PyTorch, 2.0x over PyTorch-S and DeepSpeed
+before they crash OOM; the PyTorch-S index-construction share reaches
+23.2% at short sequences and dilutes as sequences grow; PIT has the
+lowest memory footprint.
+"""
+
+import pytest
+
+from repro.hw import V100
+from repro.models import museformer_workload
+from repro.runtime import run_lineup, run_transformer
+from repro.baselines import PyTorchSBackend
+
+from .conftest import paper_note
+from .e2e_common import lineup_rows, speedup_summary
+
+LINEUP = ("PyTorch", "PyTorch-S", "DeepSpeed", "PIT")
+SEQS = (1024, 4096, 7168, 15360, 20480, 24576, 32768)
+BATCH = 4
+
+
+@pytest.mark.benchmark(group="fig13")
+def test_fig13_museformer(benchmark, print_table):
+    configs = [
+        (f"{seq // 1024}k", museformer_workload(seq, batch_size=BATCH, seed=0))
+        for seq in SEQS
+    ]
+    rows, speedups = benchmark.pedantic(
+        lambda: lineup_rows(configs, LINEUP, V100, "float32"),
+        rounds=1, iterations=1,
+    )
+    print(
+        paper_note(
+            f"Figure 13 — Museformer, fp32, batch={BATCH} (V100)",
+            "PIT 2.5x/2.0x/2.0x over PyTorch/PyTorch-S/DeepSpeed before "
+            "they OOM; PIT lowest memory",
+        )
+    )
+    print_table(["seq"] + list(LINEUP), rows)
+    print(speedup_summary(speedups))
+
+    for table in speedups.values():
+        for name, value in table.items():
+            assert value > 1.0, (name, value)
+
+    # PyTorch (dense scores) dies first as sequences grow; PIT survives.
+    long_reports = run_lineup(
+        museformer_workload(SEQS[-1], batch_size=BATCH, seed=0),
+        LINEUP, V100, "float32",
+    )
+    by_name = {r.backend: r for r in long_reports}
+    assert by_name["PyTorch"].oom
+    assert by_name["PIT"].ok
+    ok = [r for r in long_reports if r.ok]
+    assert by_name["PIT"].peak_mem_gib == min(r.peak_mem_gib for r in ok)
+
+
+@pytest.mark.benchmark(group="fig13")
+def test_fig13_convert_share_dilutes(benchmark, print_table):
+    """PyTorch-S conversion share shrinks as compute grows with sequence
+    length (the paper's 23.2%-then-diluted observation)."""
+
+    def shares():
+        out = []
+        for seq in (1024, 16384):
+            rep = run_transformer(
+                museformer_workload(seq, batch_size=BATCH, seed=0),
+                PyTorchSBackend(V100),
+            )
+            out.append((seq, rep.convert_ms / rep.latency_ms))
+        return out
+
+    result = benchmark.pedantic(shares, rounds=1, iterations=1)
+    print(paper_note(
+        "Figure 13 (detail) — PyTorch-S conversion share vs sequence length",
+        "index construction is up to 23.2% at short sequences, diluted "
+        "as computation grows",
+    ))
+    print_table(
+        ["seq", "convert share"],
+        [[s, f"{share * 100:.1f}%"] for s, share in result],
+    )
+    assert result[0][1] > result[1][1]

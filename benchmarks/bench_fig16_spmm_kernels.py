@@ -1,0 +1,89 @@
+"""Figure 16: kernel-level SpMM comparison (4096^3, static patterns, V100).
+
+cuSPARSE / Sputnik / OpenAI Block Sparse / SparTA / PIT across sparsity
+granularities {32x1, 1x64, 32x64} and ratios {50, 90, 95, 99}%.
+Conversion/compile costs are excluded (static patterns), as in the paper.
+Paper claims: at 32x64 PIT ~ SparTA ~ OpenAI (same dense tiles); at 32x1
+PIT is 4.3-5.8x over Sputnik and 1.5-5.7x over SparTA; at 1x64 PIT is
+1.1-2.3x over Sputnik and 1.1-2.2x over SparTA; up to 88.7x over cuSPARSE
+and 17.5x over OpenAI overall.
+"""
+
+import pytest
+
+from repro.baselines import (
+    CuSparseKernel,
+    PITSpmmKernel,
+    SparTAKernel,
+    SputnikKernel,
+    TritonBlockSparseKernel,
+)
+from repro.hw import V100
+from repro.sparsity import granular_mask
+
+from .conftest import paper_note
+
+SIZE = 4096
+SPARSITIES = (0.50, 0.90, 0.95, 0.99)
+GRANULARITIES = {"32x1": (32, 1), "1x64": (1, 64), "32x64": (32, 64)}
+
+
+def kernels():
+    return {
+        "cuSPARSE": CuSparseKernel(V100),
+        "Sputnik": SputnikKernel(V100),
+        "OpenAI": TritonBlockSparseKernel(V100, block=32),
+        "SparTA": SparTAKernel(V100),
+        "PIT": PITSpmmKernel(V100),
+    }
+
+
+def run_granularity(granularity):
+    ks = kernels()
+    rows = []
+    results = {}
+    for sparsity in SPARSITIES:
+        mask = granular_mask((SIZE, SIZE), granularity, sparsity, seed=5)
+        row = [f"{sparsity * 100:.0f}%"]
+        for name, kern in ks.items():
+            r = kern.spmm(mask, SIZE)
+            results[(name, sparsity)] = r.compute_us
+            row.append(f"{r.compute_us / 1e3:.2f}ms")
+        rows.append(row)
+    return rows, results
+
+
+@pytest.mark.benchmark(group="fig16")
+@pytest.mark.parametrize("gran_name", list(GRANULARITIES))
+def test_fig16_spmm_kernels(benchmark, print_table, gran_name):
+    granularity = GRANULARITIES[gran_name]
+    rows, results = benchmark.pedantic(
+        lambda: run_granularity(granularity), rounds=1, iterations=1
+    )
+    print(
+        paper_note(
+            f"Figure 16 — SpMM kernels, granularity {gran_name} (4096^3, V100)",
+            "PIT matches block kernels at coarse granularity and wins "
+            "outright at fine granularity (the PIT-transformation claim)",
+        )
+    )
+    print_table(["sparsity"] + list(kernels()), rows)
+
+    for sparsity in SPARSITIES:
+        pit = results[("PIT", sparsity)]
+        # PIT never loses to any library at any point of the sweep.
+        for name in ("cuSPARSE", "Sputnik", "OpenAI", "SparTA"):
+            assert pit <= results[(name, sparsity)] * 1.05, (name, sparsity)
+
+    if gran_name == "32x1":
+        # Fine granularity at high sparsity: PIT far ahead of the block
+        # kernel and comfortably ahead of granularity-aligned Sputnik/SparTA.
+        assert results[("OpenAI", 0.95)] > 3 * results[("PIT", 0.95)]
+        assert results[("Sputnik", 0.95)] > 2 * results[("PIT", 0.95)]
+        assert results[("SparTA", 0.95)] > 1.5 * results[("PIT", 0.95)]
+    if gran_name == "32x64":
+        # Coarse blocks: the block-tile systems are comparable to PIT
+        # (paper: 'similar latency'; our tile model leaves OpenAI a <=2.4x
+        # residual from its fixed block-shaped tile — see EXPERIMENTS.md).
+        assert results[("OpenAI", 0.90)] < 2.5 * results[("PIT", 0.90)]
+        assert results[("SparTA", 0.90)] < 1.5 * results[("PIT", 0.90)]

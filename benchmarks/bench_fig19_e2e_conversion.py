@@ -1,0 +1,69 @@
+"""Figure 19: end-to-end conversion overhead of PIT on BERT (GLUE, V100).
+
+PIT's online index construction ("PIT Convert") accounts for only
+0.7-1.1% of end-to-end latency, versus PyTorch-S's visible conversion
+share; TVM (Ansor-tuned dense) is added as a tuned dense yardstick.
+"""
+
+import pytest
+
+from repro.hw import V100
+from repro.models import bert_workload
+from repro.runtime import run_lineup
+from repro.sparsity import GLUE_TASKS
+
+from .conftest import paper_note
+
+LINEUP = ("PyTorch", "TVM", "PyTorch-S", "PIT")
+
+
+def run_glue():
+    rows = []
+    shares = {}
+    for dataset in GLUE_TASKS:
+        reports = run_lineup(
+            bert_workload(dataset, 32, seed=0), LINEUP, V100, "float32"
+        )
+        by_name = {r.backend: r for r in reports}
+        pit = by_name["PIT"]
+        pts = by_name["PyTorch-S"]
+        rows.append(
+            [
+                dataset,
+                f"{by_name['PyTorch'].latency_ms:.1f}ms",
+                f"{by_name['TVM'].latency_ms:.1f}ms",
+                f"{pts.latency_ms:.1f}ms ({pts.convert_ms:.1f}c)",
+                f"{pit.latency_ms:.1f}ms ({pit.convert_ms:.2f}c)",
+            ]
+        )
+        shares[dataset] = (
+            pit.convert_ms / pit.latency_ms,
+            pts.convert_ms / pts.latency_ms,
+        )
+    return rows, shares
+
+
+@pytest.mark.benchmark(group="fig19")
+def test_fig19_e2e_conversion(benchmark, print_table):
+    rows, shares = benchmark.pedantic(run_glue, rounds=1, iterations=1)
+    print(
+        paper_note(
+            "Figure 19 — end-to-end conversion overhead, BERT/GLUE (V100)",
+            "PIT Convert is 0.7-1.1% of end-to-end latency (almost "
+            "invisible); PyTorch-S Convert is a visible share",
+        )
+    )
+    print_table(["dataset", "PyTorch", "TVM", "PyTorch-S (conv)", "PIT (conv)"], rows)
+    pit_shares = [s[0] for s in shares.values()]
+    pts_shares = [s[1] for s in shares.values()]
+    print(
+        f"PIT convert share: {min(pit_shares) * 100:.2f}%"
+        f"~{max(pit_shares) * 100:.2f}%; PyTorch-S: "
+        f"{min(pts_shares) * 100:.1f}%~{max(pts_shares) * 100:.1f}%"
+    )
+
+    for dataset, (pit_share, pts_share) in shares.items():
+        # PIT's conversion is a few percent at most...
+        assert pit_share < 0.05, (dataset, pit_share)
+        # ... and at least an order of magnitude below PyTorch-S's.
+        assert pts_share > 3 * pit_share, (dataset, pts_share, pit_share)

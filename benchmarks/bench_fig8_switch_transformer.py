@@ -1,0 +1,67 @@
+"""Figure 8: Switch Transformer end-to-end latency and memory (A100).
+
+Batch sizes {8, 32} x expert counts {64, 128, 256} x precisions
+{fp16, fp32}.  Paper claims (fp32): PIT 3.6-18.1x over PyTorch, 3.7-17.8x
+over PyTorch-S, 16.6-59.1x over Tutel, 2.3-5.9x over DeepSpeed; (fp16)
+additionally 1.4-1.7x over MegaBlocks; Tutel/DeepSpeed OOM at the largest
+configurations; PIT lowest memory.
+"""
+
+import pytest
+
+from repro.hw import A100
+from repro.models import switch_workload
+from repro.runtime import run_lineup
+
+from .conftest import paper_note
+from .e2e_common import lineup_rows, speedup_summary
+
+EXPERTS = (64, 128, 256)
+LINEUP_FP16 = ("PyTorch", "PyTorch-S", "Tutel", "DeepSpeed", "MegaBlocks", "PIT")
+LINEUP_FP32 = ("PyTorch", "PyTorch-S", "Tutel", "DeepSpeed", "PIT")
+
+
+def _configs(batch_size):
+    return [
+        (f"{e} experts", switch_workload(e, batch_size, seed=0)) for e in EXPERTS
+    ]
+
+
+@pytest.mark.benchmark(group="fig8")
+@pytest.mark.parametrize("dtype,batch", [("float16", 32), ("float16", 8),
+                                         ("float32", 32), ("float32", 8)])
+def test_fig8_switch_transformer(benchmark, print_table, dtype, batch):
+    lineup = LINEUP_FP16 if dtype == "float16" else LINEUP_FP32
+    configs = _configs(batch)
+    rows, speedups = benchmark.pedantic(
+        lambda: lineup_rows(configs, lineup, A100, dtype),
+        rounds=1, iterations=1,
+    )
+    print(
+        paper_note(
+            f"Figure 8 — Switch Transformer, {dtype}, batch={batch} (A100)",
+            "PIT fastest everywhere; gap grows with expert count; "
+            "Tutel OOMs at large configs; PIT lowest memory",
+        )
+    )
+    print_table(["config"] + list(lineup), rows)
+    print(speedup_summary(speedups))
+
+    # Shape assertions: PIT wins everywhere and the gap grows with experts.
+    for table in speedups.values():
+        for name, value in table.items():
+            assert value > 1.0, (name, value)
+    assert speedups["256 experts"]["PyTorch"] > speedups["64 experts"]["PyTorch"]
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8_memory_ordering(benchmark):
+    """PIT's memory is the lowest of the successful fp32 runs at 64e."""
+    wl = switch_workload(64, 32, seed=0)
+    reports = benchmark.pedantic(
+        lambda: run_lineup(wl, LINEUP_FP32, A100, "float32"),
+        rounds=1, iterations=1,
+    )
+    ok = [r for r in reports if r.ok]
+    pit = next(r for r in ok if r.backend == "PIT")
+    assert pit.peak_mem_gib == min(r.peak_mem_gib for r in ok)

@@ -1,0 +1,44 @@
+"""Table 1: operator tensor expressions and their PIT-axes.
+
+Regenerated from the expression parser + Theorem 1 analysis (not
+hard-coded); the benchmark also times the inference itself — PIT-axis
+analysis must be cheap since it runs once per operator at compile time.
+"""
+
+import pytest
+
+from repro.core import TABLE1_PIT_AXES, classify_axes, parse_expr, table1_rows
+
+from .conftest import paper_note
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_pit_axes(benchmark, print_table):
+    rows = benchmark(table1_rows)
+    print(
+        paper_note(
+            "Table 1 — PIT-axes of widely-used operators",
+            "spatial + commutative/associative reduction axes are PIT-axes; "
+            "derived (index-arithmetic) axes are not",
+        )
+    )
+    print_table(
+        ["operator", "tensor expression", "PIT-axes (inferred)"],
+        [[name, src, ", ".join(axes)] for name, src, axes in rows],
+    )
+    for name, _, inferred in rows:
+        assert frozenset(inferred) == frozenset(TABLE1_PIT_AXES[name]), name
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_derived_axes_excluded(benchmark):
+    """The convolution's x/y/i/j axes are rejected with explanations."""
+
+    def classify():
+        expr = parse_expr("C[n, f, x, y] += A[n, m, x+i, y+j] * B[f, m, i, j]")
+        return classify_axes(expr)
+
+    axes = benchmark(classify)
+    for name in ("x", "y", "i", "j"):
+        assert not axes[name].is_pit
+        assert "index arithmetic" in axes[name].reason

@@ -1,0 +1,28 @@
+"""Shared benchmark fixtures and reporting helpers.
+
+Every benchmark prints the paper-style table for its figure via ``-s`` (or
+the captured stdout section of the pytest report) and wraps its core
+computation with pytest-benchmark for timing.  Simulated latencies are the
+reproduction target; wall-clock numbers measure the harness itself.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def paper_note(figure: str, claim: str) -> str:
+    """A uniform header tying each bench to its figure and claim."""
+    return f"\n=== {figure} ===\npaper: {claim}\n"
+
+
+@pytest.fixture(scope="session")
+def print_table():
+    """Print a formatted table (kept visible with `pytest -s`)."""
+    from repro.runtime import format_table
+
+    def _print(headers, rows, title=""):
+        print()
+        print(format_table(headers, rows, title=title))
+
+    return _print

@@ -1,0 +1,61 @@
+"""Paged attention as a PIT policy (the Section 6 observation, realized).
+
+vLLM's Paged Attention stores each request's KV cache as fixed-size pages
+at arbitrary physical addresses.  Pages are exactly micro-tiles; the page
+table is the sparse index; gathering a request's K/V is SRead along the
+sequence axis — a PIT-axis of BatchMatMul.  This example builds a paged KV
+pool, serves requests of different lengths, and verifies attention over
+gathered pages equals attention over contiguous KV.
+
+Run:  python examples/paged_attention.py
+"""
+
+import numpy as np
+
+from repro.core import PagedAttentionPolicy
+from repro.tensor.ops import softmax
+
+
+def main():
+    rng = np.random.default_rng(0)
+    page_size, head_dim, num_pages = 16, 32, 64
+    policy = PagedAttentionPolicy(page_size=page_size)
+    print(f"policy: {policy.decision().label}, PIT-axis "
+          f"{policy.decision().pit_axis}, page (micro-tile) size {page_size}")
+
+    # A shared physical KV pool; pages are handed out non-contiguously as
+    # requests grow (the dynamic part).
+    k_pool = rng.standard_normal((num_pages, page_size, head_dim))
+    v_pool = rng.standard_normal((num_pages, page_size, head_dim))
+
+    free_pages = list(rng.permutation(num_pages))
+    requests = []
+    for seq_pages in (3, 5, 2):
+        table = [free_pages.pop() for _ in range(seq_pages)]
+        requests.append(table)
+    print(f"page tables: {requests}")
+
+    for i, table in enumerate(requests):
+        seq = len(table) * page_size
+        q = rng.standard_normal((seq, head_dim))
+
+        # SRead at page granularity: gather this request's K and V.
+        k = policy.gather_pages(k_pool, table)
+        v = policy.gather_pages(v_pool, table)
+
+        # Reference: the same KV copied contiguously.
+        k_ref = np.concatenate([k_pool[p] for p in table]).reshape(-1, head_dim)
+        v_ref = np.concatenate([v_pool[p] for p in table]).reshape(-1, head_dim)
+
+        out = softmax(q @ k.T / np.sqrt(head_dim)) @ v
+        ref = softmax(q @ k_ref.T / np.sqrt(head_dim)) @ v_ref
+        err = np.abs(out - ref).max()
+        print(f"request {i}: seq={seq:3d}  max |paged - contiguous| = {err:.2e}")
+        assert err == 0.0
+
+    print("\npaged attention == PIT's SRead with (page_size, head_dim) "
+          "micro-tiles: no contiguity, no copies, identical results")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Iterative-pruning sparse training with PIT (the Figure 15 scenario).
+
+Magnitude pruning regenerates the weight mask every step, so a compiled
+per-pattern kernel is stale immediately.  This example streams a pruning
+schedule, shows the masks churning, and compares the per-step training
+cost of PyTorch, PyTorch-S and PIT at the paper's two granularities.
+
+Run:  python examples/sparse_training.py
+"""
+
+import numpy as np
+
+from repro.hw import V100
+from repro.runtime import format_table, sparse_training_step
+from repro.sparsity import (
+    MagnitudePruner,
+    PruningSchedule,
+    mask_sparsity,
+    pattern_fingerprint,
+)
+
+
+def mask_churn_demo():
+    print("== the pruning mask changes every step ==")
+    rng = np.random.default_rng(0)
+    weights = rng.standard_normal((256, 256))
+    pruner = MagnitudePruner((32, 1))
+    schedule = PruningSchedule(start_sparsity=0.5, end_sparsity=0.95, num_steps=6)
+    fingerprints = set()
+    rows = []
+    for step, sparsity, mask in pruner.mask_stream(
+        weights, schedule, drift=0.05, seed=1
+    ):
+        fp = pattern_fingerprint(mask)
+        rows.append(
+            [step, f"{sparsity * 100:.1f}%", f"{mask_sparsity(mask) * 100:.1f}%",
+             "repeat!" if fp in fingerprints else "fresh"]
+        )
+        fingerprints.add(fp)
+    print(format_table(["step", "target", "measured", "pattern"], rows))
+    print("every step's mask is fresh -> indexes must be built online\n")
+
+
+def training_cost_demo():
+    print("== per-batch training cost (BERT, V100, batch 32x128 tokens) ==")
+    for block in ((32, 64), (32, 1)):
+        rows = []
+        for sparsity in (0.5, 0.9, 0.98):
+            row = [f"{sparsity * 100:.0f}%"]
+            for backend in ("pytorch", "pytorch-s", "pit"):
+                rep = sparse_training_step(
+                    backend, V100, block=block, sparsity=sparsity, seed=5
+                )
+                row.append(
+                    f"{rep.latency_ms:.0f}ms (+{rep.convert_ms:.0f}ms conv)"
+                )
+            rows.append(row)
+        print(f"\nblock granularity {block[0]}x{block[1]}:")
+        print(format_table(
+            ["sparsity", "PyTorch", "PyTorch-S", "PIT"], rows
+        ))
+
+    coarse = sparse_training_step("pit", V100, block=(32, 64), sparsity=0.9, seed=5)
+    fine = sparse_training_step("pit", V100, block=(32, 1), sparsity=0.9, seed=5)
+    print(
+        f"\nPIT 32x1 vs 32x64 latency: {fine.latency_ms:.0f}ms vs "
+        f"{coarse.latency_ms:.0f}ms — fine granularity is (nearly) free: "
+        f"micro-tiles cover the data, the compute tile stays coarse."
+    )
+
+
+if __name__ == "__main__":
+    mask_churn_demo()
+    training_cost_demo()

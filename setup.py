@@ -1,0 +1,6 @@
+"""Setuptools shim: `pip install -e . --no-build-isolation` needs the wheel
+package, which is unavailable in offline environments; `python setup.py
+develop` (or the repro-editable.pth route) works without it."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,71 @@
+"""SparTA-style static-sparsity compiler baseline (OSDI'22).
+
+SparTA specializes a kernel ahead of time for one *specific* sparsity
+pattern: it searches tile shapes, propagates the sparsity attribute, and
+emits code with the zeros stripped.  Two faces matter for the figures:
+
+* **compile cost** (Figure 3b): 400-600 *seconds* per pattern — unusable
+  when patterns change at runtime;
+* **kernel quality** (Figure 16): for a *static* pattern, SparTA covers the
+  mask in place with the best tile it can find.  It cannot permute data, so
+  at fine granularity (32x1) a GPU-efficient tile covers mostly zeros while
+  a granularity-aligned tile is GPU-inefficient — exactly the dilemma PIT's
+  transformation escapes (PIT measures 1.5-5.7x over SparTA there).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..hw.costmodel import matmul_step_time_us, matmul_tile_fixed_time_us
+from ..core.cover import cover_grid
+from .base import SpmmKernel, SpmmResult, shared_tiledb
+
+#: AOT specialization cost per new sparsity pattern (microseconds).
+#: Figure 3b reports 400-600 seconds; we charge the midpoint.
+SPARTA_COMPILE_US = 500e6
+
+
+class SparTAKernel(SpmmKernel):
+    """In-place tile cover with AOT-searched tile shape (no permutation)."""
+
+    name = "SparTA"
+
+    def __init__(self, spec, dtype: str = "float32", *, include_compile: bool = False):
+        super().__init__(spec, dtype)
+        #: Whether spmm() charges the AOT compilation (dynamic-pattern use).
+        self.include_compile = include_compile
+
+    def _cover_cost_us(self, mask: np.ndarray, tile, n: int) -> float:
+        """Cost of covering the mask in place with (tm, tk) blocks."""
+        grid = cover_grid(mask, (tile.tm, tile.tk))
+        covered_steps = int(grid.sum())
+        n_tiles_cols = math.ceil(n / tile.tn)
+        total_steps = covered_steps * n_tiles_cols
+        out_tiles = int(grid.any(axis=1).sum()) * n_tiles_cols
+        step = matmul_step_time_us(tile, self.dtype, self.spec)
+        fixed = matmul_tile_fixed_time_us(tile, self.dtype, self.spec)
+        step_waves = math.ceil(total_steps / self.spec.num_sms)
+        tile_waves = math.ceil(out_tiles / self.spec.num_sms)
+        return step_waves * step + tile_waves * fixed + self.spec.kernel_launch_us
+
+    def best_tile_for(self, mask: np.ndarray, n: int):
+        """The AOT tile search: minimize in-place cover cost for the pattern."""
+        db = shared_tiledb(self.spec, self.dtype)
+        best_tile, best_cost = None, float("inf")
+        for entry in db.tiles():
+            cost = self._cover_cost_us(mask, entry.tile, n)
+            if cost < best_cost:
+                best_tile, best_cost = entry.tile, cost
+        return best_tile, best_cost
+
+    def spmm(self, mask: np.ndarray, n: int) -> SpmmResult:
+        tile, compute = self.best_tile_for(mask, n)
+        convert = SPARTA_COMPILE_US if self.include_compile else 0.0
+        return SpmmResult(
+            compute_us=compute,
+            convert_us=convert,
+            detail={"tile": tile.describe()},
+        )

@@ -1,0 +1,76 @@
+"""Sputnik-style fine-grained SpMM baseline (Gale et al., SC'20).
+
+Sputnik is the strongest fine-grained (1-wide) sparse kernel the paper
+compares against: CSR with row swizzling for load balance, vector memory
+ops, and one-dimensional tiling.  It beats cuSPARSE by roughly the ratio of
+their efficiency constants but still pays per-non-zero index traffic and
+cannot use dense-tile compute — PIT measures 1.1-5.8x over it depending on
+granularity (Figure 16).
+
+Sputnik also profits from *structured* rows: when non-zeros come in runs
+(e.g. 1x64 granularity), its vector loads approach coalesced bandwidth; the
+efficiency model below interpolates with the mean run length.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..hw.memory import stream_time_us
+from ..hw.spec import dtype_bytes
+from ..tensor.sparse import SPUTNIK_CONVERT_PASSES
+from .base import SpmmKernel, SpmmResult
+
+#: Peak-FLOPs fraction for scattered single-element rows.
+SPUTNIK_BASE_EFFICIENCY = 0.055
+#: Peak-FLOPs fraction when non-zeros form long contiguous runs.
+SPUTNIK_VECTOR_EFFICIENCY = 0.22
+
+
+def mean_run_length(mask: np.ndarray) -> float:
+    """Average length of horizontal non-zero runs (granularity detector)."""
+    m = np.asarray(mask, dtype=bool)
+    if not m.any():
+        return 0.0
+    padded = np.pad(m, ((0, 0), (1, 0)), constant_values=False)
+    starts = m & ~padded[:, :-1]
+    num_runs = int(starts.sum())
+    return float(m.sum()) / max(1, num_runs)
+
+
+class SputnikKernel(SpmmKernel):
+    """Sputnik fine-grained SpMM with run-length-aware efficiency."""
+
+    name = "Sputnik"
+
+    def efficiency(self, mask: np.ndarray) -> float:
+        run = mean_run_length(mask)
+        # Saturates once runs reach ~8 elements (a full vector load).
+        blend = min(1.0, max(0.0, (run - 1.0) / 7.0))
+        return SPUTNIK_BASE_EFFICIENCY + blend * (
+            SPUTNIK_VECTOR_EFFICIENCY - SPUTNIK_BASE_EFFICIENCY
+        )
+
+    def convert_us(self, mask: np.ndarray) -> float:
+        m, k = mask.shape
+        nnz = int(np.count_nonzero(mask))
+        dense_bytes = m * k * dtype_bytes(self.dtype)
+        index_bytes = (m + 1) * 4 + nnz * (4 + dtype_bytes(self.dtype)) + m * 4
+        return (
+            stream_time_us(int(dense_bytes * SPUTNIK_CONVERT_PASSES), self.spec)
+            + stream_time_us(index_bytes, self.spec)
+            + 3 * self.spec.kernel_launch_us
+        )
+
+    def spmm(self, mask: np.ndarray, n: int) -> SpmmResult:
+        nnz = int(np.count_nonzero(mask))
+        flops = 2.0 * nnz * n
+        peak = self.spec.peak_flops(self.dtype) / 1e6
+        compute = flops / (peak * self.efficiency(mask))
+        index_bytes = nnz * (4 + dtype_bytes(self.dtype))
+        compute += stream_time_us(index_bytes, self.spec) + self.spec.kernel_launch_us
+        return SpmmResult(
+            compute_us=compute,
+            convert_us=self.convert_us(mask),
+            detail={"nnz": nnz, "efficiency": self.efficiency(mask)},
+        )

@@ -1,0 +1,139 @@
+"""PIT core: the paper's contribution.
+
+Expression analysis (Theorem 1), micro-tiles, CoverAlgo, the tile database,
+Algorithm 1 kernel selection, the online sparsity detector, SRead/SWrite and
+the generated sparse kernels, tied together by :class:`PITCompiler`.
+"""
+
+from .compiler import CompiledMatmul, PITCompiler
+from .cover import (
+    CoverCache,
+    MatmulWorkload,
+    count_covering_microtiles,
+    cover_grid,
+    coverage_waste,
+    covered_sparsity,
+    dense_matmul_workload,
+    matmul_workload,
+)
+from .detector import (
+    RowIndex,
+    SparseIndex,
+    build_index,
+    build_row_index,
+    index_construction_time_us,
+)
+from .expr import ParseError, ReduceOp, TensorExpr, TensorRef, parse_expr
+from .kernels import (
+    DenseMatmulKernel,
+    GroupedMatmulKernel,
+    KernelResult,
+    SparseMatmulKernel,
+)
+from .microtile import (
+    MicroTile,
+    MicroTiledOp,
+    derive_microtile,
+    matmul_microtiled_op,
+    microtile_layout_for,
+)
+from .pit_axis import (
+    OPERATOR_EXPRESSIONS,
+    TABLE1_PIT_AXES,
+    AxisInfo,
+    AxisKind,
+    classify_axes,
+    get_operator_expr,
+    is_pit_axis,
+    pit_axes,
+    table1_rows,
+)
+from .policy import (
+    ActivationPolicy,
+    AttentionPolicy,
+    MoEPolicy,
+    PagedAttentionPolicy,
+    PolicyDecision,
+    SeqLenPolicy,
+)
+from .rules import (
+    MultiAxisRule,
+    PITRule,
+    batch_matmul_multi_axis_rules,
+    matmul_axes_for_operand,
+    matmul_rules,
+)
+from .selection import KernelChoice, kernel_selection
+from .sread_swrite import (
+    gather_microtiles,
+    scatter_microtiles,
+    sread_cols,
+    sread_load_efficiency,
+    sread_rows,
+    swrite_cols,
+    swrite_rows,
+)
+from .tiledb import TileDB, TileEntry
+
+__all__ = [
+    "ActivationPolicy",
+    "AttentionPolicy",
+    "AxisInfo",
+    "AxisKind",
+    "CompiledMatmul",
+    "CoverCache",
+    "DenseMatmulKernel",
+    "GroupedMatmulKernel",
+    "KernelChoice",
+    "KernelResult",
+    "MatmulWorkload",
+    "MicroTile",
+    "MicroTiledOp",
+    "MoEPolicy",
+    "MultiAxisRule",
+    "OPERATOR_EXPRESSIONS",
+    "PITCompiler",
+    "PITRule",
+    "PagedAttentionPolicy",
+    "ParseError",
+    "PolicyDecision",
+    "ReduceOp",
+    "RowIndex",
+    "SeqLenPolicy",
+    "SparseIndex",
+    "SparseMatmulKernel",
+    "TABLE1_PIT_AXES",
+    "TensorExpr",
+    "TensorRef",
+    "TileDB",
+    "TileEntry",
+    "batch_matmul_multi_axis_rules",
+    "build_index",
+    "build_row_index",
+    "classify_axes",
+    "count_covering_microtiles",
+    "cover_grid",
+    "coverage_waste",
+    "covered_sparsity",
+    "dense_matmul_workload",
+    "derive_microtile",
+    "gather_microtiles",
+    "get_operator_expr",
+    "index_construction_time_us",
+    "is_pit_axis",
+    "kernel_selection",
+    "matmul_axes_for_operand",
+    "matmul_microtiled_op",
+    "matmul_rules",
+    "matmul_workload",
+    "microtile_layout_for",
+    "parse_expr",
+    "pit_axes",
+    "scatter_microtiles",
+    "sread_cols",
+    "sread_load_efficiency",
+    "sread_rows",
+    "swrite_cols",
+    "swrite_rows",
+    "table1_rows",
+]

@@ -1,0 +1,139 @@
+"""PIT compiler front-end (Figure 5's architecture, end to end).
+
+``PITCompiler`` ties the pieces together the way the runtime in Section 3
+does: given sparsity samples of a dynamic operator it runs the transformation
+policy (Algorithm 1 kernel selection over the TileDB), JIT-"generates" the
+sparse kernel for the winning rule, and returns a :class:`CompiledMatmul`
+whose ``run`` detects sparsity online and executes with SRead/SWrite.
+
+Compiled kernels are cached per (shape, dtype, operand) — the *kernel* is
+reused across invocations even though every invocation sees a different
+sparsity pattern; only the cheap online index is rebuilt.  (Figure 20 shows
+why caching per *pattern* would be useless: patterns almost never repeat.)
+The policy can be periodically refreshed with new samples, mirroring the
+"Sparse Tensor Samples / Periodically" arrow of Figure 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..hw.spec import GPUSpec
+from .kernels import DenseMatmulKernel, KernelResult, SparseMatmulKernel
+from .selection import KernelChoice, kernel_selection
+from .tiledb import TileDB
+
+
+@dataclass
+class CompiledMatmul:
+    """A JIT-compiled (possibly sparse) matmul bound to one problem shape."""
+
+    m: int
+    k: int
+    n: int
+    choice: KernelChoice
+    kernel: object  # SparseMatmulKernel | DenseMatmulKernel
+    sparse_operand: str
+
+    def run(self, a: np.ndarray, b: np.ndarray, *, mask=None, seed: int = 0) -> KernelResult:
+        """Execute with online sparsity detection on the current input."""
+        if isinstance(self.kernel, DenseMatmulKernel):
+            return self.kernel.run(a, b)
+        return self.kernel.run(a, b, mask=mask, seed=seed)
+
+    def estimate_us(self, mask=None) -> float:
+        """Estimated latency for an input with the given mask (or the
+        selection-time estimate when no mask is supplied)."""
+        if mask is None or isinstance(self.kernel, DenseMatmulKernel):
+            return self.choice.est_cost_us
+        dense_extent = self.n if self.sparse_operand == "A" else self.m
+        return self.kernel.estimate_us(np.asarray(mask, dtype=bool), dense_extent)
+
+
+class PITCompiler:
+    """JIT compiler for dynamically sparse operators on one device."""
+
+    def __init__(
+        self,
+        spec: GPUSpec,
+        dtype: str = "float32",
+        *,
+        tensor_core: bool = False,
+        max_tiles: int = 24,
+    ):
+        self.spec = spec
+        self.dtype = dtype
+        self.tensor_core = tensor_core
+        self.tiledb = TileDB(
+            spec, dtype, tensor_core=tensor_core, max_tiles=max_tiles
+        )
+        self._cache: dict = {}
+
+    def compile_matmul(
+        self,
+        sparsity_samples,
+        m: int,
+        k: int,
+        n: int,
+        *,
+        sparse_operand: str = "A",
+        use_cache: bool = True,
+    ) -> CompiledMatmul:
+        """Select a kernel with Algorithm 1 and instantiate it.
+
+        ``sparsity_samples``: recent masks of the sparse operand (the online
+        sparsity detector feeds these in the deployed system).
+        """
+        cache_key = (m, k, n, sparse_operand)
+        if use_cache and cache_key in self._cache:
+            return self._cache[cache_key]
+
+        choice = kernel_selection(
+            sparsity_samples, m, k, n, self.tiledb, sparse_operand=sparse_operand
+        )
+        if choice.is_dense_fallback:
+            kernel: object = DenseMatmulKernel(
+                choice.tile, self.spec, self.dtype, tensor_core=self.tensor_core
+            )
+        else:
+            kernel = SparseMatmulKernel(
+                choice.tile,
+                choice.pit_axis,
+                self.spec,
+                self.dtype,
+                sparse_operand=sparse_operand,
+                tensor_core=self.tensor_core,
+            )
+        compiled = CompiledMatmul(
+            m=m, k=k, n=n, choice=choice, kernel=kernel, sparse_operand=sparse_operand
+        )
+        if use_cache:
+            self._cache[cache_key] = compiled
+        return compiled
+
+    def refresh(
+        self,
+        compiled: CompiledMatmul,
+        new_samples,
+    ) -> CompiledMatmul:
+        """Re-run selection with fresh samples (Figure 5's periodic update).
+
+        Returns a new compiled kernel (and replaces the cache entry) — the
+        previous one stays valid for in-flight work.
+        """
+        fresh = self.compile_matmul(
+            new_samples,
+            compiled.m,
+            compiled.k,
+            compiled.n,
+            sparse_operand=compiled.sparse_operand,
+            use_cache=False,
+        )
+        self._cache[(compiled.m, compiled.k, compiled.n, compiled.sparse_operand)] = fresh
+        return fresh
+
+    def cache_size(self) -> int:
+        return len(self._cache)

@@ -1,0 +1,241 @@
+"""CoverAlgo: micro-tile coverage of a sparse tensor (Algorithm 1, line 8).
+
+Given a sparsity mask and a micro-tile shape, CoverAlgo computes how many
+micro-tiles are needed to cover all non-zero values, and — after merging
+micro-tiles along the PIT-axis into dense computation tiles — how much work
+the generated sparse kernel performs.  Algorithm 1 estimates a candidate
+kernel's cost as ``num_tiles * tile_cost``; this module produces exactly
+those tile counts, and also the *coverage waste* statistics plotted in
+Figure 3a.
+
+Merging semantics: micro-tiles can merge into one dense computation tile when
+they share their block position on every non-PIT axis (they are interchanged
+along the PIT-axis only — that is what the permutation-invariance property
+licenses).  Hence the workload is computed per non-PIT block position:
+``sum_over_positions(ceil(count_position / merge_factor))``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..hw.costmodel import TileConfig
+from .microtile import MicroTile
+
+
+def cover_grid(mask: np.ndarray, microtile_shape: tuple) -> np.ndarray:
+    """Boolean grid marking which grid-aligned micro-tiles contain non-zeros.
+
+    The mask is zero-padded up to a multiple of the micro-tile shape (the
+    trailing partial tiles behave like tiles padded with zeros, exactly as a
+    GPU kernel would guard out-of-range accesses).
+    """
+    if mask.ndim != 2:
+        raise ValueError(f"cover_grid expects a 2-D mask, got shape {mask.shape}")
+    mh, mw = microtile_shape
+    if mh < 1 or mw < 1:
+        raise ValueError(f"invalid micro-tile shape {microtile_shape}")
+    rows, cols = mask.shape
+    grid_r, grid_c = math.ceil(rows / mh), math.ceil(cols / mw)
+    padded = np.zeros((grid_r * mh, grid_c * mw), dtype=bool)
+    padded[:rows, :cols] = mask != 0
+    return padded.reshape(grid_r, mh, grid_c, mw).any(axis=(1, 3))
+
+
+def count_covering_microtiles(mask: np.ndarray, microtile: MicroTile) -> int:
+    """Number of micro-tiles needed to cover all non-zeros of ``mask``."""
+    return int(cover_grid(mask, microtile.shape).sum())
+
+
+def coverage_waste(mask: np.ndarray, microtile_shape: tuple) -> float:
+    """Fraction of covered elements that are zeros (Figure 3a's 'wasted c.').
+
+    A 32x32 cover of a 99%-sparse fine-grained tensor computes mostly zeros;
+    this is the quantity the tile-shape dilemma trades against GPU efficiency.
+    """
+    grid = cover_grid(mask, microtile_shape)
+    covered_elems = int(grid.sum()) * microtile_shape[0] * microtile_shape[1]
+    if covered_elems == 0:
+        return 0.0
+    nnz = int(np.count_nonzero(mask))
+    return 1.0 - nnz / covered_elems
+
+
+def covered_sparsity(mask: np.ndarray, microtile_shape: tuple) -> float:
+    """Sparsity ratio *after* covering (Table 3's 'Sparsity Ratio After Cover').
+
+    The fraction of micro-tile grid cells that are entirely zero — i.e. the
+    effective sparsity the merged dense computation sees.
+    """
+    grid = cover_grid(mask, microtile_shape)
+    if grid.size == 0:
+        return 0.0
+    return 1.0 - float(grid.sum()) / grid.size
+
+
+class CoverCache:
+    """Memoized cover grids for one mask.
+
+    Algorithm 1 evaluates dozens of (tile, axis) candidates whose micro-tiles
+    collapse to a handful of distinct shapes; caching the grids keeps the
+    online search cheap (the paper reports 30-100us searches).
+    """
+
+    def __init__(self, mask: np.ndarray):
+        self.mask = np.asarray(mask, dtype=bool)
+        self.nnz = int(np.count_nonzero(self.mask))
+        self._grids: dict = {}
+
+    def grid(self, microtile_shape: tuple, *, transposed: bool = False) -> np.ndarray:
+        key = (tuple(microtile_shape), transposed)
+        if key not in self._grids:
+            mask = self.mask.T if transposed else self.mask
+            self._grids[key] = cover_grid(mask, microtile_shape)
+        return self._grids[key]
+
+
+@dataclass(frozen=True)
+class MatmulWorkload:
+    """Work performed by a sparse matmul kernel after micro-tile merging."""
+
+    #: Total K-steps across all dense computation tiles (the unit Algorithm 1
+    #: multiplies by the profiled per-step tile cost).
+    total_k_steps: int
+    #: Number of distinct output tiles written (each pays the fixed cost).
+    num_output_tiles: int
+    #: Micro-tiles covering the sparse operand (sparse-index length).
+    num_microtiles: int
+    #: Fraction of computed elements that are zero padding/waste.
+    wasted_fraction: float
+
+    @property
+    def is_empty(self) -> bool:
+        return self.total_k_steps == 0
+
+
+def matmul_workload(
+    mask,
+    tile: TileConfig,
+    pit_axis: str,
+    n_extent: int,
+    *,
+    sparse_operand: str = "A",
+) -> MatmulWorkload:
+    """Workload of ``C[m,n] += A[m,k] * B[k,n]`` with one sparse operand.
+
+    ``mask`` is the sparse operand's non-zero mask (A: [M, K]; B: [K, N]) or
+    a :class:`CoverCache` wrapping it.  ``n_extent`` is the dense extent of
+    the axis not covered by the mask (N when A is sparse, M when B is
+    sparse).
+
+    * PIT-axis ``m`` (A sparse): micro-tile ``(1, tk)``.  Micro-tiles merge
+      across rows within the same K-block; every K-block column contributes
+      ``ceil(count / tm)`` steps, replicated over ``ceil(N / tn)`` output
+      column tiles.
+    * PIT-axis ``k`` (A sparse): micro-tile ``(tm, 1)``.  Columns of each
+      row-block gather into K-steps of ``tk``; every row-block contributes
+      ``ceil(count / tk)`` steps.
+    * PIT-axis ``n`` / ``k`` with B sparse: symmetric.
+    """
+    cache = mask if isinstance(mask, CoverCache) else CoverCache(mask)
+    if sparse_operand == "A":
+        if pit_axis == "m":
+            return _workload_outer_axis(cache, tile, n_extent, transposed=False)
+        if pit_axis == "k":
+            return _workload_reduce_axis(cache, tile, n_extent, transposed=False)
+        raise ValueError(f"sparse A supports PIT-axis m or k, got {pit_axis!r}")
+    if sparse_operand == "B":
+        if pit_axis == "n":
+            return _workload_outer_axis(cache, tile, n_extent, transposed=True)
+        if pit_axis == "k":
+            return _workload_reduce_axis(cache, tile, n_extent, transposed=True)
+        raise ValueError(f"sparse B supports PIT-axis n or k, got {pit_axis!r}")
+    raise ValueError(f"sparse_operand must be 'A' or 'B', got {sparse_operand!r}")
+
+
+def _workload_outer_axis(
+    cache: CoverCache,
+    tile: TileConfig,
+    dense_extent: int,
+    *,
+    transposed: bool,
+) -> MatmulWorkload:
+    """Spatial-axis rule: merge (1, tk) micro-tiles across rows.
+
+    The grid is oriented so rows are the PIT-axis (for sparse B, the mask is
+    transposed so its n-axis becomes the rows).  For each K-block column,
+    ``count`` non-empty row micro-tiles merge into ``ceil(count/merge)``
+    dense tiles of one K-step each.
+    """
+    merge_factor = tile.tn if transposed else tile.tm
+    grid = cache.grid((1, tile.tk), transposed=transposed)
+    counts = grid.sum(axis=0)  # non-empty micro-tiles per K-block
+    steps_per_ncol = int(np.ceil(counts / merge_factor).sum())
+    n_tiles_cols = math.ceil(dense_extent / (tile.tm if transposed else tile.tn))
+    total_steps = steps_per_ncol * n_tiles_cols
+
+    # Output tiles: rows with any non-zero, packed by merge_factor, times
+    # the output column tiles.
+    nonzero_rows = int(grid.any(axis=1).sum())
+    out_tiles = math.ceil(nonzero_rows / merge_factor) * n_tiles_cols
+
+    num_micro = int(grid.sum())
+    # Sparse-operand elements touched per output column tile.
+    computed = steps_per_ncol * merge_factor * tile.tk
+    waste = 0.0 if computed == 0 else max(0.0, 1.0 - cache.nnz / computed)
+    return MatmulWorkload(
+        total_k_steps=total_steps,
+        num_output_tiles=out_tiles,
+        num_microtiles=num_micro,
+        wasted_fraction=waste,
+    )
+
+
+def _workload_reduce_axis(
+    cache: CoverCache,
+    tile: TileConfig,
+    dense_extent: int,
+    *,
+    transposed: bool,
+) -> MatmulWorkload:
+    """Reduction-axis rule: merge (row_block, 1) micro-tiles along K.
+
+    For each row-block, ``count`` non-empty column micro-tiles merge into
+    ``ceil(count/tk)`` K-steps.
+    """
+    row_block = tile.tn if transposed else tile.tm
+    grid = cache.grid((row_block, 1), transposed=transposed)
+    counts = grid.sum(axis=1)  # non-empty k-columns per row-block
+    steps_per_ncol = int(np.ceil(counts / tile.tk).sum())
+    n_tiles_cols = math.ceil(dense_extent / (tile.tm if transposed else tile.tn))
+    total_steps = steps_per_ncol * n_tiles_cols
+
+    # Every row-block with any work writes its output tiles densely.
+    nonzero_blocks = int((counts > 0).sum())
+    out_tiles = nonzero_blocks * n_tiles_cols
+
+    num_micro = int(grid.sum())
+    computed = steps_per_ncol * row_block * tile.tk
+    waste = 0.0 if computed == 0 else max(0.0, 1.0 - cache.nnz / computed)
+    return MatmulWorkload(
+        total_k_steps=total_steps,
+        num_output_tiles=out_tiles,
+        num_microtiles=num_micro,
+        wasted_fraction=waste,
+    )
+
+
+def dense_matmul_workload(m: int, k: int, n: int, tile: TileConfig) -> MatmulWorkload:
+    """Workload of the dense fallback (all tiles, all K-steps)."""
+    tiles_m = math.ceil(m / tile.tm)
+    tiles_n = math.ceil(n / tile.tn)
+    steps = tiles_m * tiles_n * math.ceil(k / tile.tk)
+    return MatmulWorkload(
+        total_k_steps=steps,
+        num_output_tiles=tiles_m * tiles_n,
+        num_microtiles=0,
+        wasted_fraction=0.0,
+    )

@@ -1,0 +1,319 @@
+"""Generated sparse kernels (the Figure 7 template, realized).
+
+A generated kernel binds a PIT rule to a device and exposes two faces:
+
+* ``run(...)`` — the functional face: build the online sparse index, SRead
+  the micro-tiles, execute the dense-tile computation (numpy), SWrite the
+  results back.  Produces real values, tested against the dense reference.
+* ``estimate_us(...)`` — the cost face: CoverAlgo workload x profiled tile
+  cost, wave-quantized, plus detector and SRead surcharges.  This is the
+  quantity Algorithm 1 minimizes and the benchmarks report.
+
+Both faces derive from the same rule/tile, so a kernel cannot be fast in the
+benchmarks yet wrong in the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..hw.costmodel import (
+    TileConfig,
+    dense_matmul_time_us,
+    sparse_matmul_time_us,
+)
+from ..hw.spec import GPUSpec, dtype_bytes
+from ..hw.timeline import ExecReport
+from ..tensor.layout import Layout
+from .cover import MatmulWorkload, dense_matmul_workload, matmul_workload
+from .detector import build_row_index, index_construction_time_us
+from .microtile import MicroTile, derive_microtile, matmul_microtiled_op
+from .sread_swrite import sread_cols, sread_rows, swrite_cols, swrite_rows
+
+
+@dataclass
+class KernelResult:
+    """Functional output plus the simulated execution report."""
+
+    output: np.ndarray
+    report: ExecReport
+
+
+def _operand_mask(tensor: np.ndarray, mask) -> np.ndarray:
+    if mask is not None:
+        return np.asarray(mask, dtype=bool)
+    return tensor != 0
+
+
+class DenseMatmulKernel:
+    """The dense fallback: no rearrangement, every tile executes."""
+
+    def __init__(self, tile: TileConfig, spec: GPUSpec, dtype: str = "float32",
+                 *, tensor_core: bool = False):
+        self.tile = tile
+        self.spec = spec
+        self.dtype = dtype
+        self.tensor_core = tensor_core
+
+    def estimate_us(self, m: int, k: int, n: int) -> float:
+        return dense_matmul_time_us(
+            m, k, n, self.tile, self.dtype, self.spec, tensor_core=self.tensor_core
+        )
+
+    def run(self, a: np.ndarray, b: np.ndarray) -> KernelResult:
+        out = a @ b
+        latency = self.estimate_us(a.shape[0], a.shape[1], b.shape[1])
+        report = ExecReport(op="dense_matmul", latency_us=latency)
+        return KernelResult(output=out, report=report)
+
+
+class SparseMatmulKernel:
+    """A PIT sparse matmul kernel for one (PIT-axis, tile) rule.
+
+    ``C[m, n] += A[m, k] * B[k, n]`` with one sparse operand:
+
+    * ``pit_axis='m'`` (A sparse): SRead gathers non-empty A rows, the dense
+      tile computes on the packed rows, SWrite scatters C rows back — the
+      first example of Figure 4.
+    * ``pit_axis='k'`` (A sparse): SRead gathers non-empty k-columns of A
+      *and the matching rows of B*; no SWrite needed (C is dense) — the
+      second example of Figure 4.
+    * ``pit_axis='n'`` (B sparse): symmetric to 'm' on B's columns.
+    """
+
+    def __init__(
+        self,
+        tile: TileConfig,
+        pit_axis: str,
+        spec: GPUSpec,
+        dtype: str = "float32",
+        *,
+        sparse_operand: str = "A",
+        tensor_core: bool = False,
+    ):
+        if sparse_operand == "A" and pit_axis not in ("m", "k"):
+            raise ValueError(f"sparse A supports axis m or k, got {pit_axis!r}")
+        if sparse_operand == "B" and pit_axis not in ("n", "k"):
+            raise ValueError(f"sparse B supports axis n or k, got {pit_axis!r}")
+        self.tile = tile
+        self.pit_axis = pit_axis
+        self.spec = spec
+        self.dtype = dtype
+        self.sparse_operand = sparse_operand
+        self.tensor_core = tensor_core
+        self.microtiled_op = matmul_microtiled_op(tile, pit_axis)
+        self.microtile = derive_microtile(tile, pit_axis, operand=sparse_operand)
+
+    # ------------------------------------------------------------------
+    # Cost face
+    # ------------------------------------------------------------------
+    def workload(self, mask: np.ndarray, dense_extent: int) -> MatmulWorkload:
+        return matmul_workload(
+            mask,
+            self.tile,
+            self.pit_axis,
+            dense_extent,
+            sparse_operand=self.sparse_operand,
+        )
+
+    def sread_contig_bytes(self) -> int:
+        """Contiguous run of one micro-tile, assuming the piggyback layout
+        flip (Section 3.2) already made the PIT-axis non-contiguous."""
+        run_elems = max(self.microtile.shape)
+        return run_elems * dtype_bytes(self.dtype)
+
+    def estimate_us(
+        self,
+        mask: np.ndarray,
+        dense_extent: int,
+        *,
+        include_detector: bool = True,
+    ) -> float:
+        wl = self.workload(mask, dense_extent)
+        detector = 0.0
+        if include_detector:
+            detector = index_construction_time_us(
+                mask.shape, self.dtype, self.spec, wl.num_microtiles
+            )
+        return sparse_matmul_time_us(
+            wl.total_k_steps,
+            wl.num_output_tiles,
+            self.tile,
+            self.dtype,
+            self.spec,
+            tensor_core=self.tensor_core,
+            sread_contig_bytes=self.sread_contig_bytes(),
+            detector_us=detector,
+        )
+
+    # ------------------------------------------------------------------
+    # Functional face
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        *,
+        mask=None,
+        seed: int = 0,
+    ) -> KernelResult:
+        """Execute functionally; ``mask`` overrides value-derived sparsity."""
+        if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+            raise ValueError(f"bad matmul shapes {a.shape} x {b.shape}")
+        if self.sparse_operand == "A":
+            op_mask = _operand_mask(a, mask)
+            if op_mask.shape != a.shape:
+                raise ValueError("mask shape must match A")
+            dense_extent = b.shape[1]
+        else:
+            op_mask = _operand_mask(b, mask)
+            if op_mask.shape != b.shape:
+                raise ValueError("mask shape must match B")
+            dense_extent = a.shape[0]
+
+        rng = np.random.default_rng(seed)
+        if self.sparse_operand == "A" and self.pit_axis == "m":
+            rows = np.flatnonzero(op_mask.any(axis=1))
+            rows = rows[rng.permutation(rows.size)]  # unordered index
+            packed = sread_rows(np.where(op_mask, a, 0.0), rows) @ b
+            out = swrite_rows((a.shape[0], b.shape[1]), rows, packed)
+        elif self.sparse_operand == "A" and self.pit_axis == "k":
+            cols = np.flatnonzero(op_mask.any(axis=0))
+            cols = cols[rng.permutation(cols.size)]
+            a_packed = sread_cols(np.where(op_mask, a, 0.0), cols)
+            b_packed = sread_rows(b, cols)
+            out = a_packed @ b_packed
+        elif self.sparse_operand == "B" and self.pit_axis == "n":
+            cols = np.flatnonzero(op_mask.any(axis=0))
+            cols = cols[rng.permutation(cols.size)]
+            packed = a @ sread_cols(np.where(op_mask, b, 0.0), cols)
+            out = swrite_cols((a.shape[0], b.shape[1]), cols, packed)
+        else:  # sparse B, axis k
+            rows = np.flatnonzero(op_mask.any(axis=1))
+            rows = rows[rng.permutation(rows.size)]
+            a_packed = sread_cols(a, rows)
+            b_packed = sread_rows(np.where(op_mask, b, 0.0), rows)
+            out = a_packed @ b_packed
+
+        wl = self.workload(op_mask, dense_extent)
+        detector_us = index_construction_time_us(
+            op_mask.shape, self.dtype, self.spec, wl.num_microtiles
+        )
+        latency = self.estimate_us(op_mask, dense_extent)
+        report = ExecReport(
+            op=f"pit_matmul[{self.pit_axis}]",
+            latency_us=latency,
+            convert_us=detector_us,
+            wasted_fraction=wl.wasted_fraction,
+            detail={
+                "tile": self.tile.describe(),
+                "microtile": str(self.microtile),
+                "k_steps": wl.total_k_steps,
+                "output_tiles": wl.num_output_tiles,
+            },
+        )
+        return KernelResult(output=out, report=report)
+
+
+class GroupedMatmulKernel:
+    """PIT's MoE expert kernel: one sparse matmul per expert, fused.
+
+    Implements the (b, m) multi-axis extension in the form the Switch
+    Transformer evaluation uses: SRead gathers each expert's tokens (rows
+    scattered across the batch) straight into dense tiles, each expert
+    multiplies by its own weight, and SWrite scatters the outputs back to
+    token order.  No padding (Tutel/DeepSpeed) and no input reorganization
+    pass (MegaBlocks).
+    """
+
+    def __init__(self, tile: TileConfig, spec: GPUSpec, dtype: str = "float32",
+                 *, tensor_core: bool = False):
+        self.tile = tile
+        self.spec = spec
+        self.dtype = dtype
+        self.tensor_core = tensor_core
+
+    def estimate_us(
+        self,
+        tokens_per_expert,
+        k: int,
+        n: int,
+        *,
+        total_tokens: int,
+        include_detector: bool = True,
+    ) -> float:
+        """Cost of all experts' matmuls executed as one sparse kernel."""
+        import math
+
+        total_steps = 0
+        total_tiles = 0
+        k_steps = math.ceil(k / self.tile.tk)
+        n_tiles = math.ceil(n / self.tile.tn)
+        for count in tokens_per_expert:
+            if count == 0:
+                continue
+            m_tiles = math.ceil(count / self.tile.tm)
+            total_steps += m_tiles * n_tiles * k_steps
+            total_tiles += m_tiles * n_tiles
+        detector = 0.0
+        if include_detector:
+            # Routing decisions, not tensor values, feed the index: one pass
+            # over the token->expert map (4 bytes per token).
+            detector = index_construction_time_us(
+                (total_tokens, 1), "int32", self.spec, total_tokens
+            )
+        return sparse_matmul_time_us(
+            total_steps,
+            total_tiles,
+            self.tile,
+            self.dtype,
+            self.spec,
+            tensor_core=self.tensor_core,
+            sread_contig_bytes=self.tile.tk * dtype_bytes(self.dtype),
+            detector_us=detector,
+        )
+
+    def run(
+        self,
+        tokens: np.ndarray,
+        expert_weights: np.ndarray,
+        assignment: np.ndarray,
+        *,
+        seed: int = 0,
+    ) -> KernelResult:
+        """``tokens``: [T, k]; ``expert_weights``: [E, k, n]; ``assignment``:
+        [T] expert id per token.  Returns [T, n] in original token order."""
+        num_experts = expert_weights.shape[0]
+        if assignment.shape[0] != tokens.shape[0]:
+            raise ValueError("assignment length must match token count")
+        if assignment.size and (assignment.min() < 0 or assignment.max() >= num_experts):
+            raise ValueError("assignment contains out-of-range expert ids")
+        rng = np.random.default_rng(seed)
+        out = np.zeros((tokens.shape[0], expert_weights.shape[2]), dtype=tokens.dtype)
+        counts = []
+        for e in range(num_experts):
+            idx = np.flatnonzero(assignment == e)
+            counts.append(idx.size)
+            if idx.size == 0:
+                continue
+            idx = idx[rng.permutation(idx.size)]  # unordered gather
+            packed = sread_rows(tokens, idx) @ expert_weights[e]
+            out[idx] = packed
+        latency = self.estimate_us(
+            counts,
+            tokens.shape[1],
+            expert_weights.shape[2],
+            total_tokens=tokens.shape[0],
+        )
+        detector_us = index_construction_time_us(
+            (tokens.shape[0], 1), "int32", self.spec, tokens.shape[0]
+        )
+        report = ExecReport(
+            op="pit_grouped_matmul",
+            latency_us=latency,
+            convert_us=detector_us,
+            detail={"tokens_per_expert": counts, "tile": self.tile.describe()},
+        )
+        return KernelResult(output=out, report=report)

@@ -1,0 +1,166 @@
+"""Kernel selection — Algorithm 1 of the paper.
+
+Given sparsity samples of a dynamically sparse operator, iterate over every
+dense computation tile in the TileDB and every feasible PIT-axis, derive the
+micro-tile, run CoverAlgo on each sample, estimate the candidate's cost as
+``num_tiles x tile_cost`` (plus detector/SRead surcharges), and return the
+cheapest candidate.  A dense candidate (no transformation) competes too, so
+low-sparsity inputs "seamlessly fall back to the dense computation".
+
+Cover grids are cached per micro-tile shape: many (tile, axis) candidates
+share a micro-tile, and Section 5.5's 30-100us online search budget rests on
+avoiding redundant passes over the samples.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..hw.costmodel import TileConfig
+from ..hw.spec import GPUSpec, dtype_bytes
+from .cover import CoverCache, matmul_workload
+from .detector import index_construction_time_us
+from .microtile import MicroTile
+from .rules import matmul_rules
+from .tiledb import TileDB
+from ..hw.costmodel import dense_matmul_time_us, sparse_matmul_time_us
+
+
+@dataclass(frozen=True)
+class KernelChoice:
+    """Algorithm 1's output: the best computation tile for the operator."""
+
+    tile: TileConfig
+    #: None means the dense fallback won.
+    pit_axis: Optional[str]
+    microtile: Optional[MicroTile]
+    #: Estimated per-invocation cost of the winning kernel (microseconds).
+    est_cost_us: float
+    #: Mean sparsity ratio after covering with the winning micro-tile
+    #: (Table 3's "Sparsity Ratio After Cover"); 0.0 for the dense fallback.
+    covered_sparsity: float
+    #: Wall-clock time the search itself took (microseconds) — Section 5.5
+    #: reports 30-100us for the original CUDA implementation.
+    search_time_us: float
+
+    @property
+    def is_dense_fallback(self) -> bool:
+        return self.pit_axis is None
+
+    def describe(self) -> str:
+        if self.is_dense_fallback:
+            return f"dense fallback, tile={self.tile.describe()}"
+        return (
+            f"axis={self.pit_axis}, micro-tile={self.microtile}, "
+            f"tile={self.tile.describe()}, est={self.est_cost_us:.1f}us"
+        )
+
+
+def kernel_selection(
+    sparsity_samples,
+    m: int,
+    k: int,
+    n: int,
+    tiledb: TileDB,
+    *,
+    sparse_operand: str = "A",
+    include_dense_fallback: bool = True,
+) -> KernelChoice:
+    """Algorithm 1: pick the best (tile, PIT-axis, micro-tile) for an op.
+
+    ``sparsity_samples`` is a list of boolean masks of the sparse operand
+    (A: [m, k], B: [k, n]); the paper samples these from recent invocations
+    of the dynamic operator.
+    """
+    samples = [np.asarray(s, dtype=bool) for s in sparsity_samples]
+    if not samples:
+        raise ValueError("kernel selection needs at least one sparsity sample")
+    expected = (m, k) if sparse_operand == "A" else (k, n)
+    for s in samples:
+        if s.shape != expected:
+            raise ValueError(
+                f"sample shape {s.shape} != sparse operand shape {expected}"
+            )
+    dense_extent = n if sparse_operand == "A" else m
+
+    start = time.perf_counter()
+    spec = tiledb.spec
+    dtype = tiledb.dtype
+    caches = [CoverCache(s) for s in samples]
+
+    best = None
+    best_cost = float("inf")
+    best_cov = 0.0
+
+    # foreach T in GetTilesFromTileDB x foreach A in GetPITAxis
+    for rule in matmul_rules(tiledb.tiles(), sparse_operand=sparse_operand):
+        cost = 0.0
+        cov = 0.0
+        for cache in caches:
+            sample = cache.mask
+            wl = matmul_workload(
+                cache, rule.tile, rule.pit_axis, dense_extent,
+                sparse_operand=sparse_operand,
+            )
+            detector = index_construction_time_us(
+                sample.shape, dtype, spec, wl.num_microtiles
+            )
+            contig = max(rule.microtile.shape) * dtype_bytes(dtype)
+            cost += sparse_matmul_time_us(
+                wl.total_k_steps,
+                wl.num_output_tiles,
+                rule.tile,
+                dtype,
+                spec,
+                tensor_core=tiledb.tensor_core,
+                sread_contig_bytes=contig,
+                detector_us=detector,
+            )
+            grid = cache.grid(
+                rule.microtile.shape, transposed=(sparse_operand == "B")
+            )
+            cov += 1.0 - float(grid.sum()) / max(1, grid.size)
+        cost /= len(samples)
+        cov /= len(samples)
+        if cost < best_cost:
+            best = rule
+            best_cost = cost
+            best_cov = cov
+
+    choice_axis = best.pit_axis
+    choice_micro = best.microtile
+    choice_tile = best.tile
+
+    if include_dense_fallback:
+        # The dense candidate is priced with the same wave-quantized formula
+        # as the sparse candidates so that rounding differences cannot flip
+        # the comparison; a dense-ish input must fall back (Section 3.2).
+        from .cover import dense_matmul_workload
+
+        dense_entry = tiledb.best_dense_tile(m, k, n)
+        dwl = dense_matmul_workload(m, k, n, dense_entry.tile)
+        dense_cost = sparse_matmul_time_us(
+            dwl.total_k_steps,
+            dwl.num_output_tiles,
+            dense_entry.tile,
+            dtype,
+            spec,
+            tensor_core=tiledb.tensor_core,
+        )
+        if dense_cost <= best_cost:
+            choice_axis, choice_micro = None, None
+            choice_tile, best_cost, best_cov = dense_entry.tile, dense_cost, 0.0
+
+    elapsed_us = (time.perf_counter() - start) * 1e6
+    return KernelChoice(
+        tile=choice_tile,
+        pit_axis=choice_axis,
+        microtile=choice_micro,
+        est_cost_us=best_cost,
+        covered_sparsity=best_cov,
+        search_time_us=elapsed_us,
+    )

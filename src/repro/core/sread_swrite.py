@@ -1,0 +1,129 @@
+"""SRead / SWrite: the sparse data-rearrangement primitives (Section 3.1).
+
+SRead loads sparsely located micro-tiles from global memory into the dense
+tile layout in shared memory; SWrite scatters output micro-tiles back to
+their original coordinates.  The rearrangement is piggybacked on the loads
+and stores a tensor kernel performs anyway, so the only surcharge is the
+difference between streaming and transaction-granular (gather) bandwidth —
+zero once a micro-tile fills a 32-byte transaction.
+
+Functionally these are gathers/scatters; this module implements them with
+numpy fancy indexing so generated kernels compute real values, and exposes
+the latency surcharge model used by the cost layer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..hw.memory import gather_efficiency
+from ..hw.spec import GPUSpec, dtype_bytes
+from .detector import RowIndex, SparseIndex
+
+
+def sread_rows(data: np.ndarray, row_index: np.ndarray) -> np.ndarray:
+    """Gather whole rows (micro-tiles of shape ``(1, width)``).
+
+    Returns the gathered rows *in index order* — which is unordered; the
+    caller's SWrite undoes the permutation.  This is the m-axis SRead of the
+    Figure 4 example.
+    """
+    return data[np.asarray(row_index, dtype=np.int64)]
+
+
+def swrite_rows(
+    out_shape: tuple,
+    row_index: np.ndarray,
+    rows: np.ndarray,
+    *,
+    dtype=None,
+) -> np.ndarray:
+    """Scatter computed rows back to their original coordinates.
+
+    The inverse permutation is implicit: row ``i`` of ``rows`` goes to
+    ``out[row_index[i]]``, so any SRead order round-trips correctly.
+    Unindexed rows stay zero (they correspond to all-zero inputs).
+    """
+    idx = np.asarray(row_index, dtype=np.int64)
+    if idx.size != rows.shape[0]:
+        raise ValueError(
+            f"row_index has {idx.size} entries but rows has {rows.shape[0]}"
+        )
+    out = np.zeros(out_shape, dtype=dtype if dtype is not None else rows.dtype)
+    out[idx] = rows
+    return out
+
+
+def sread_cols(data: np.ndarray, col_index: np.ndarray) -> np.ndarray:
+    """Gather columns (micro-tiles of shape ``(height, 1)``) — k-axis SRead."""
+    return data[:, np.asarray(col_index, dtype=np.int64)]
+
+
+def swrite_cols(
+    out_shape: tuple,
+    col_index: np.ndarray,
+    cols: np.ndarray,
+    *,
+    dtype=None,
+) -> np.ndarray:
+    """Scatter computed columns back — n-axis SWrite."""
+    idx = np.asarray(col_index, dtype=np.int64)
+    if idx.size != cols.shape[1]:
+        raise ValueError(
+            f"col_index has {idx.size} entries but cols has {cols.shape[1]} columns"
+        )
+    out = np.zeros(out_shape, dtype=dtype if dtype is not None else cols.dtype)
+    out[:, idx] = cols
+    return out
+
+
+def gather_microtiles(data: np.ndarray, index: SparseIndex) -> np.ndarray:
+    """Gather full micro-tiles by grid coordinates into a packed block array.
+
+    Returns ``(num_microtiles, mh, mw)``; out-of-range tails (from grid
+    padding) are zero-filled, matching a guarded GPU load.
+    """
+    mh, mw = index.microtile.shape
+    num = index.num_microtiles
+    out = np.zeros((num, mh, mw), dtype=data.dtype)
+    rows, cols = data.shape
+    for i, (br, bc) in enumerate(index.positions):
+        r0, c0 = br * mh, bc * mw
+        r1, c1 = min(r0 + mh, rows), min(c0 + mw, cols)
+        out[i, : r1 - r0, : c1 - c0] = data[r0:r1, c0:c1]
+    return out
+
+
+def scatter_microtiles(
+    out_shape: tuple,
+    index: SparseIndex,
+    blocks: np.ndarray,
+    *,
+    dtype=None,
+) -> np.ndarray:
+    """Scatter packed micro-tiles back to their grid coordinates."""
+    mh, mw = index.microtile.shape
+    if blocks.shape[0] != index.num_microtiles:
+        raise ValueError(
+            f"expected {index.num_microtiles} blocks, got {blocks.shape[0]}"
+        )
+    out = np.zeros(out_shape, dtype=dtype if dtype is not None else blocks.dtype)
+    rows, cols = out_shape
+    for i, (br, bc) in enumerate(index.positions):
+        r0, c0 = br * mh, bc * mw
+        r1, c1 = min(r0 + mh, rows), min(c0 + mw, cols)
+        out[r0:r1, c0:c1] = blocks[i, : r1 - r0, : c1 - c0]
+    return out
+
+
+def sread_load_efficiency(
+    microtile_contig_bytes: int, spec: GPUSpec
+) -> float:
+    """Effective load bandwidth fraction of SRead for a given micro-tile.
+
+    Micro-tiles whose contiguous run fills a transaction load at
+    ``spec.gather_efficiency`` (near streaming); narrower micro-tiles waste
+    transaction bytes proportionally.  This is the entire cost of SRead —
+    there is no separate rearrangement pass.
+    """
+    return gather_efficiency(microtile_contig_bytes, spec)

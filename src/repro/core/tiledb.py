@@ -1,0 +1,103 @@
+"""The tile database (Sections 3.2 and 4).
+
+PIT "creates a database of sparse kernels, each of which applies PIT
+transformations on one PIT-axis of an operator", backed by dense computation
+tiles whose costs were profiled offline once per operator and GPU.  The
+original system stores ~1,500 generated kernels over ~500 dense tiles; this
+build enumerates dense matmul tiles on the analytical device model
+(:mod:`repro.hw.profiler`) and serves the same three queries Algorithm 1
+needs:
+
+* ``GetTilesFromTileDB`` — candidate dense computation tiles (with costs),
+* per-tile step/fixed cost lookups (``T.tile_cost`` in Algorithm 1),
+* the best dense tile for a given problem shape (the fallback candidate).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..hw.costmodel import TileConfig
+from ..hw.profiler import TileProfile, profile_matmul_tiles
+from ..hw.spec import GPUSpec
+
+
+@dataclass(frozen=True)
+class TileEntry:
+    """One dense computation tile with its profiled cost coefficients."""
+
+    tile: TileConfig
+    #: Profiled latency of one K-step (microseconds).
+    step_us: float
+    #: Profiled fixed per-tile latency (output write + scheduling).
+    fixed_us: float
+    #: Whether the tile decomposes into wmma fragments (fp16 Tensor Core).
+    tensor_core_ok: bool
+
+    def tile_cost_us(self, k_extent: int) -> float:
+        """Algorithm 1's ``T.tile_cost`` for a tile walking ``k_extent``."""
+        steps = math.ceil(k_extent / self.tile.tk)
+        return steps * self.step_us + self.fixed_us
+
+
+class TileDB:
+    """Profiled dense-tile database for one (device, dtype) pair."""
+
+    def __init__(
+        self,
+        spec: GPUSpec,
+        dtype: str = "float32",
+        *,
+        tensor_core: bool = False,
+        max_tiles: int = 24,
+    ):
+        self.spec = spec
+        self.dtype = dtype
+        self.tensor_core = tensor_core
+        profiles = profile_matmul_tiles(spec, dtype, tensor_core=tensor_core)
+        self._entries = [self._to_entry(p) for p in profiles[: max(1, max_tiles)]]
+        if not self._entries:
+            raise RuntimeError(
+                f"offline profiling produced no feasible tiles for "
+                f"{spec.name}/{dtype} (tensor_core={tensor_core})"
+            )
+
+    def _to_entry(self, profile: TileProfile) -> TileEntry:
+        tk = profile.tile.tk
+        step_us = profile.time_per_k_us * tk
+        return TileEntry(
+            tile=profile.tile,
+            step_us=step_us,
+            fixed_us=profile.fixed_us,
+            tensor_core_ok=profile.tensor_core_ok,
+        )
+
+    def tiles(self) -> list:
+        """``GetTilesFromTileDB``: candidate tiles, best efficiency first."""
+        return list(self._entries)
+
+    def entry_for(self, tile: TileConfig) -> TileEntry:
+        for entry in self._entries:
+            if entry.tile == tile:
+                return entry
+        raise KeyError(f"tile {tile.describe()} not in the database")
+
+    def best_dense_tile(self, m: int, k: int, n: int) -> TileEntry:
+        """The dense tile minimizing full-dense latency for this shape.
+
+        Used both for the dense-fallback candidate of Algorithm 1 and by the
+        dense baselines.
+        """
+        best, best_cost = None, float("inf")
+        for entry in self._entries:
+            tiles_m = math.ceil(m / entry.tile.tm)
+            tiles_n = math.ceil(n / entry.tile.tn)
+            waves = math.ceil(tiles_m * tiles_n / self.spec.num_sms)
+            cost = waves * entry.tile_cost_us(k)
+            if cost < best_cost:
+                best, best_cost = entry, cost
+        return best
+
+    def __len__(self) -> int:
+        return len(self._entries)

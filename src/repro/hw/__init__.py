@@ -1,0 +1,85 @@
+"""Analytical GPU hardware model: the performance substrate.
+
+Public surface:
+
+* :mod:`repro.hw.spec` — device specifications (:data:`A100`, :data:`V100`).
+* :mod:`repro.hw.costmodel` — tile/kernel latency model.
+* :mod:`repro.hw.memory` — transaction-granular memory access costs.
+* :mod:`repro.hw.memtracker` — footprint accounting and simulated OOM.
+* :mod:`repro.hw.profiler` — offline tile profiling feeding the TileDB.
+* :mod:`repro.hw.wmma` — Tensor Core instruction constraints.
+* :mod:`repro.hw.timeline` — per-op execution reports.
+"""
+
+from .costmodel import (
+    TileConfig,
+    compute_efficiency,
+    dense_matmul_time_us,
+    elementwise_time_us,
+    kernel_time_us,
+    layernorm_time_us,
+    matmul_step_time_us,
+    matmul_tile_fixed_time_us,
+    matmul_tile_time_us,
+    reduction_time_us,
+    softmax_time_us,
+    sparse_matmul_time_us,
+)
+from .memory import (
+    gather_efficiency,
+    gather_time_us,
+    microtile_contig_bytes,
+    stream_time_us,
+    tensor_bytes,
+    transactions_for,
+)
+from .memtracker import MemoryTracker, OutOfMemoryError
+from .profiler import TileProfile, clear_profile_cache, profile_matmul_tiles
+from .spec import A100, V100, V100_16GB, GPUSpec, dtype_bytes, get_gpu
+from .timeline import ExecReport, Timeline
+from .wmma import (
+    WMMA_FP16_SHAPES,
+    SparseTensorCore,
+    is_two_four_eligible,
+    validate_wmma_tile,
+    wmma_supports,
+)
+
+__all__ = [
+    "A100",
+    "V100",
+    "V100_16GB",
+    "ExecReport",
+    "GPUSpec",
+    "MemoryTracker",
+    "OutOfMemoryError",
+    "SparseTensorCore",
+    "TileConfig",
+    "TileProfile",
+    "Timeline",
+    "WMMA_FP16_SHAPES",
+    "clear_profile_cache",
+    "compute_efficiency",
+    "dense_matmul_time_us",
+    "dtype_bytes",
+    "elementwise_time_us",
+    "gather_efficiency",
+    "gather_time_us",
+    "get_gpu",
+    "is_two_four_eligible",
+    "kernel_time_us",
+    "layernorm_time_us",
+    "matmul_step_time_us",
+    "matmul_tile_fixed_time_us",
+    "matmul_tile_time_us",
+    "microtile_contig_bytes",
+    "profile_matmul_tiles",
+    "reduction_time_us",
+    "softmax_time_us",
+    "sparse_matmul_time_us",
+    "stream_time_us",
+    "tensor_bytes",
+    "transactions_for",
+    "validate_wmma_tile",
+    "wmma_supports",
+]

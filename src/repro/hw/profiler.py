@@ -1,0 +1,112 @@
+"""Offline tile profiling (Section 3.2 / Section 4).
+
+The paper: "PIT just records the execution time of different tile shapes
+(e.g., 32x32 and 64x64) for dense computation. Therefore, the offline
+profiling is conducted once per operator and per GPU type."
+
+:func:`profile_matmul_tiles` enumerates a realistic set of dense matmul tile
+shapes and records each one's per-tile latency on the analytical device model.
+The result feeds the TileDB (``repro.core.tiledb``) exactly like the authors'
+performance look-up table feeds their micro-tile selector.  Profiles are
+cached per (device, dtype) so repeated benchmark runs do not re-enumerate.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from .costmodel import TileConfig, matmul_tile_time_us
+from .spec import GPUSpec
+from .wmma import wmma_supports
+
+#: Candidate extents for the output-tile dimensions.
+DEFAULT_TM = (8, 16, 32, 64, 128)
+DEFAULT_TN = (8, 16, 32, 64, 128)
+#: Candidate K-step extents.
+DEFAULT_TK = (8, 16, 32, 64)
+
+#: Reference K extent used to express profiled costs per-tile.  The tile cost
+#: stored in the DB is normalized to "per K element" so selection can rescale
+#: it to any problem's K extent.
+_PROFILE_K = 4096
+
+
+@dataclass(frozen=True)
+class TileProfile:
+    """One profiled dense computation tile."""
+
+    tile: TileConfig
+    #: Per-tile latency for a K-extent of 1 element (microseconds); multiply
+    #: by the problem's K extent (plus the fixed overhead) to estimate cost.
+    time_per_k_us: float
+    #: Fixed per-tile cost independent of K (output write + scheduling).
+    fixed_us: float
+    #: Whether the tile is expressible with wmma fragments in fp16.
+    tensor_core_ok: bool
+
+    def tile_time_us(self, k_extent: int) -> float:
+        """Estimated latency of one tile accumulating over ``k_extent``."""
+        return self.time_per_k_us * max(1, k_extent) + self.fixed_us
+
+
+_CACHE: dict = {}
+
+
+def profile_matmul_tiles(
+    spec: GPUSpec,
+    dtype: str,
+    *,
+    tm_candidates=DEFAULT_TM,
+    tn_candidates=DEFAULT_TN,
+    tk_candidates=DEFAULT_TK,
+    tensor_core: bool = False,
+) -> list:
+    """Profile every candidate matmul tile shape on the device model.
+
+    Returns a list of :class:`TileProfile`, sorted by per-FLOP efficiency
+    (best first).  Shapes whose shared-memory working set exceeds the device's
+    per-SM shared memory are skipped, mirroring real occupancy limits.
+    """
+    key = (spec.name, dtype, tm_candidates, tn_candidates, tk_candidates, tensor_core)
+    if key in _CACHE:
+        return _CACHE[key]
+
+    from .spec import dtype_bytes
+
+    dsize = dtype_bytes(dtype)
+    shared_budget = spec.shared_mem_per_sm_kib * 1024
+
+    profiles = []
+    for tm, tk, tn in itertools.product(tm_candidates, tk_candidates, tn_candidates):
+        tile = TileConfig(tm=tm, tk=tk, tn=tn)
+        working_set = (tm * tk + tk * tn + tm * tn) * dsize
+        if working_set > shared_budget:
+            continue
+        if tensor_core and not wmma_supports(tm, tn, tk):
+            continue
+        total = matmul_tile_time_us(
+            tile, _PROFILE_K, dtype, spec, tensor_core=tensor_core
+        )
+        fixed = matmul_tile_time_us(tile, 1, dtype, spec, tensor_core=tensor_core)
+        # Solve total = per_k * K + fixed' using two K points; the model is
+        # affine in ceil(K / tk) so this recovers it exactly for K >> tk.
+        per_k = (total - fixed) / (_PROFILE_K - 1)
+        profiles.append(
+            TileProfile(
+                tile=tile,
+                time_per_k_us=per_k,
+                fixed_us=fixed - per_k,
+                tensor_core_ok=wmma_supports(tm, tn, tk),
+            )
+        )
+
+    flops_per_k = lambda p: 2.0 * p.tile.tm * p.tile.tn  # noqa: E731
+    profiles.sort(key=lambda p: p.time_per_k_us / flops_per_k(p))
+    _CACHE[key] = profiles
+    return profiles
+
+
+def clear_profile_cache() -> None:
+    """Drop all cached profiles (used by tests that vary spec parameters)."""
+    _CACHE.clear()

@@ -1,0 +1,181 @@
+"""GPU device specifications for the analytical hardware model.
+
+The paper evaluates PIT on NVIDIA A100-80GB and V100-32GB GPUs.  This module
+captures the first-order architectural parameters those figures depend on:
+
+* number of streaming multiprocessors (SMs) — governs wave quantization,
+* peak arithmetic throughput per precision — governs compute-bound tiles,
+* DRAM bandwidth — governs memory-bound tiles and format conversions,
+* the 32-byte global-memory transaction granularity — governs the minimum
+  micro-tile size (PIT, Section 3.1: "the read/write transaction of global
+  memory in CUDA GPUs is 32 bytes, the smallest micro-tile size on this type
+  of accelerator is 1x8 float32"),
+* shared-memory capacity — caps tile working sets,
+* device memory capacity — governs the OOM events in Figures 8, 12 and 13.
+
+All latency values produced by the model are in microseconds and all sizes in
+bytes unless a name says otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+#: Bytes per element for the precisions used in the paper's evaluation.
+DTYPE_BYTES = {
+    "float64": 8,
+    "float32": 4,
+    "float16": 2,
+    "bfloat16": 2,
+    "int32": 4,
+    "int8": 1,
+}
+
+
+def dtype_bytes(dtype: str) -> int:
+    """Return the storage size of one element of ``dtype``.
+
+    Raises ``KeyError`` with a helpful message for unknown dtypes so that a
+    typo in a benchmark configuration fails loudly rather than silently
+    producing a nonsense cost.
+    """
+    try:
+        return DTYPE_BYTES[dtype]
+    except KeyError:
+        known = ", ".join(sorted(DTYPE_BYTES))
+        raise KeyError(f"unknown dtype {dtype!r}; known dtypes: {known}") from None
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """An analytical model of a CUDA GPU.
+
+    The model is intentionally simple — it captures exactly the effects the
+    paper's evaluation reasons about (tile efficiency, wave quantization,
+    bandwidth-bound conversions, memory capacity) and nothing more.
+    """
+
+    name: str
+    #: Number of streaming multiprocessors.
+    num_sms: int
+    #: Peak fp32 throughput in TFLOP/s (CUDA cores).
+    fp32_tflops: float
+    #: Peak fp16 throughput in TFLOP/s (Tensor Cores where available).
+    fp16_tflops: float
+    #: DRAM bandwidth in GB/s.
+    mem_bandwidth_gbs: float
+    #: Device memory capacity in GiB.
+    mem_capacity_gib: float
+    #: Shared memory per SM in KiB.
+    shared_mem_per_sm_kib: int
+    #: Global-memory read/write transaction granularity in bytes.
+    transaction_bytes: int = 32
+    #: Fixed cost of launching one kernel, in microseconds.
+    kernel_launch_us: float = 5.0
+    #: Per-thread-block scheduling overhead, in microseconds.  Small tiles pay
+    #: this relatively more, which is the root of the tile-shape dilemma in
+    #: Figure 3a.
+    tile_overhead_us: float = 0.25
+    #: Maximum resident thread blocks per SM (occupancy ceiling).
+    max_blocks_per_sm: int = 4
+    #: Whether the device has Tensor Cores usable through wmma.
+    has_tensor_cores: bool = True
+    #: Relative efficiency of scattered (transaction-granular) global memory
+    #: access vs. fully coalesced streaming access.  SRead/SWrite at
+    #: micro-tile granularity run at this fraction of peak bandwidth — near
+    #: unity once each micro-tile fills a whole transaction (the paper's
+    #: "negligible overhead" claim for SRead/SWrite, Section 5.3).
+    gather_efficiency: float = 0.95
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    def peak_flops(self, dtype: str) -> float:
+        """Peak throughput in FLOP/s for ``dtype``."""
+        if dtype in ("float16", "bfloat16") and self.has_tensor_cores:
+            return self.fp16_tflops * 1e12
+        if dtype == "float64":
+            return self.fp32_tflops * 1e12 / 2.0
+        return self.fp32_tflops * 1e12
+
+    def flops_per_sm_us(self, dtype: str) -> float:
+        """Peak FLOPs one SM can retire in one microsecond."""
+        return self.peak_flops(dtype) / self.num_sms / 1e6
+
+    def bandwidth_bytes_us(self) -> float:
+        """DRAM bandwidth in bytes per microsecond (whole device)."""
+        return self.mem_bandwidth_gbs * 1e9 / 1e6
+
+    def bandwidth_per_sm_us(self) -> float:
+        """Fair-share DRAM bandwidth of one SM, bytes per microsecond."""
+        return self.bandwidth_bytes_us() / self.num_sms
+
+    def mem_capacity_bytes(self) -> int:
+        """Device memory capacity in bytes."""
+        return int(self.mem_capacity_gib * (1 << 30))
+
+    def min_microtile_elems(self, dtype: str) -> int:
+        """Smallest useful micro-tile extent (elements) on the contiguous axis.
+
+        Per Section 3.1, a micro-tile should saturate one memory transaction:
+        32 bytes -> 8 float32 or 4 float64 elements.
+        """
+        return max(1, self.transaction_bytes // dtype_bytes(dtype))
+
+
+#: NVIDIA A100-80GB (SXM).  108 SMs, 19.5 fp32 TFLOP/s, 312 fp16 TFLOP/s
+#: (Tensor Core), 2039 GB/s HBM2e.
+A100 = GPUSpec(
+    name="A100-80GB",
+    num_sms=108,
+    fp32_tflops=19.5,
+    fp16_tflops=312.0,
+    mem_bandwidth_gbs=2039.0,
+    mem_capacity_gib=80.0,
+    shared_mem_per_sm_kib=164,
+)
+
+#: NVIDIA V100-32GB (SXM2).  80 SMs, 15.7 fp32 TFLOP/s, 125 fp16 TFLOP/s,
+#: 900 GB/s HBM2.
+V100 = GPUSpec(
+    name="V100-32GB",
+    num_sms=80,
+    fp32_tflops=15.7,
+    fp16_tflops=125.0,
+    mem_bandwidth_gbs=900.0,
+    mem_capacity_gib=32.0,
+    shared_mem_per_sm_kib=96,
+)
+
+#: V100 with 16GB of memory — footnote 2 of the paper notes index-construction
+#: behaviour differs slightly on the 16GB part; we expose it so that the
+#: footnote can be explored.
+V100_16GB = GPUSpec(
+    name="V100-16GB",
+    num_sms=80,
+    fp32_tflops=15.7,
+    fp16_tflops=125.0,
+    mem_bandwidth_gbs=900.0,
+    mem_capacity_gib=16.0,
+    shared_mem_per_sm_kib=96,
+)
+
+
+_REGISTRY = {
+    "a100": A100,
+    "a100-80gb": A100,
+    "v100": V100,
+    "v100-32gb": V100,
+    "v100-16gb": V100_16GB,
+}
+
+
+def get_gpu(name: str) -> GPUSpec:
+    """Look up a device spec by (case-insensitive) name."""
+    key = name.strip().lower()
+    try:
+        return _REGISTRY[key]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown GPU {name!r}; known GPUs: {known}") from None

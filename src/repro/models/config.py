@@ -1,0 +1,168 @@
+"""Model configurations — Table 2's model zoo.
+
+Every architecture the evaluation runs, with the published hyperparameters:
+Switch Transformer (encoder-decoder MoE), Swin-MoE (vision MoE), OPT
+(decoder-only, 125M-30B), BERT-base (encoder), Longformer (sparse-attention
+encoder) and Museformer (sparse-attention decoder).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class MoESpec:
+    """Mixture-of-experts structure of a model."""
+
+    num_experts: int
+    #: An MoE FFN replaces the dense FFN every ``every``-th layer.
+    every: int = 2
+    #: Router imbalance knob (Dirichlet concentration; lower = more skew).
+    concentration: float = 0.5
+
+
+@dataclass(frozen=True)
+class AttentionSpec:
+    """Sparse-attention structure (Longformer/Museformer)."""
+
+    kind: str  # "dense" | "longformer" | "museformer"
+    window: int = 512
+    num_global: int = 16
+    bar_len: int = 256
+    fine_bars: int = 2
+    summary_stride: int = 4
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """One transformer architecture."""
+
+    name: str
+    family: str  # bert | opt | switch | swin_moe | longformer | museformer
+    n_layers: int
+    d_model: int
+    heads: int
+    d_ff: int
+    vocab: int = 50272
+    causal: bool = False
+    activation: str = "gelu"
+    max_seq: int = 512
+    moe: Optional[MoESpec] = None
+    attention: AttentionSpec = field(default_factory=lambda: AttentionSpec("dense"))
+    #: Decoder stack of an encoder-decoder model (Switch Transformer).
+    decoder_layers: int = 0
+
+    @property
+    def head_dim(self) -> int:
+        return self.d_model // self.heads
+
+    def num_moe_layers(self) -> int:
+        if self.moe is None:
+            return 0
+        total = self.n_layers + self.decoder_layers
+        return total // self.moe.every
+
+    def num_dense_ffn_layers(self) -> int:
+        return self.n_layers + self.decoder_layers - self.num_moe_layers()
+
+    def param_count(self) -> int:
+        """Approximate parameter count (weights only, the memory model's
+        'weights' category)."""
+        per_layer_attn = 4 * self.d_model * self.d_model
+        per_layer_ffn = 2 * self.d_model * self.d_ff
+        layers = self.n_layers + self.decoder_layers
+        dense_ffn = self.num_dense_ffn_layers() * per_layer_ffn
+        moe_ffn = 0
+        if self.moe is not None:
+            moe_ffn = self.num_moe_layers() * self.moe.num_experts * per_layer_ffn
+        embed = self.vocab * self.d_model
+        return layers * per_layer_attn + dense_ffn + moe_ffn + embed
+
+
+def bert_base() -> ModelConfig:
+    return ModelConfig(
+        name="BERT-base", family="bert", n_layers=12, d_model=768, heads=12,
+        d_ff=3072, vocab=30522, activation="gelu", max_seq=512,
+    )
+
+
+_OPT_SHAPES = {
+    "125m": (12, 768, 12),
+    "350m": (24, 1024, 16),
+    "1.3b": (24, 2048, 32),
+    "13b": (40, 5120, 40),
+    "30b": (48, 7168, 56),
+}
+
+
+def opt(size: str) -> ModelConfig:
+    """OPT decoder models; ReLU FFN activations (the 99%-sparse ones)."""
+    try:
+        n_layers, d_model, heads = _OPT_SHAPES[size.lower()]
+    except KeyError:
+        known = ", ".join(sorted(_OPT_SHAPES))
+        raise KeyError(f"unknown OPT size {size!r}; known: {known}") from None
+    return ModelConfig(
+        name=f"OPT-{size.upper()}", family="opt", n_layers=n_layers,
+        d_model=d_model, heads=heads, d_ff=4 * d_model, causal=True,
+        activation="relu", max_seq=2048,
+    )
+
+
+def switch_transformer(num_experts: int) -> ModelConfig:
+    """Switch-Base: T5-base backbone, MoE FFN every other layer in both the
+    encoder and the decoder."""
+    return ModelConfig(
+        name=f"SwitchTransformer-{num_experts}e", family="switch",
+        n_layers=12, decoder_layers=12, d_model=768, heads=12, d_ff=3072,
+        vocab=32128, activation="relu", max_seq=128,
+        moe=MoESpec(num_experts=num_experts, every=2),
+    )
+
+
+def swin_moe(num_experts: int) -> ModelConfig:
+    """Swin-MoE (Swin-B backbone): fixed 196-token visual sequences, MoE in
+    the deeper stages (modeled as every other layer of a uniform stack)."""
+    return ModelConfig(
+        name=f"Swin-MoE-{num_experts}e", family="swin_moe",
+        n_layers=24, d_model=512, heads=16, d_ff=2048, vocab=0,
+        activation="gelu", max_seq=196,
+        moe=MoESpec(num_experts=num_experts, every=2, concentration=2.0),
+    )
+
+
+def longformer(size: str = "base") -> ModelConfig:
+    if size == "base":
+        n_layers, d_model, heads = 12, 768, 12
+    elif size == "large":
+        n_layers, d_model, heads = 24, 1024, 16
+    else:
+        raise KeyError(f"unknown Longformer size {size!r} (base|large)")
+    return ModelConfig(
+        name=f"Longformer-{size}", family="longformer", n_layers=n_layers,
+        d_model=d_model, heads=heads, d_ff=4 * d_model, max_seq=4096,
+        attention=AttentionSpec("longformer", window=512, num_global=64),
+    )
+
+
+def museformer() -> ModelConfig:
+    return ModelConfig(
+        name="Museformer", family="museformer", n_layers=12, d_model=512,
+        heads=8, d_ff=2048, causal=True, max_seq=32768,
+        attention=AttentionSpec(
+            "museformer", bar_len=256, fine_bars=2, summary_stride=4
+        ),
+    )
+
+
+#: Table 2 reproduced: model -> (dataset, structure, precision, device).
+TABLE2 = {
+    "Switch Transformer": ("MNLI", "Encoder-Decoder MoE", ("fp16", "fp32"), "A100"),
+    "Swin-MoE": ("ImageNet", "Encoder MoE", ("fp16",), "A100"),
+    "OPT": ("Alpaca", "Decoder", ("fp32",), "V100"),
+    "BERT": ("GLUE/News/etc", "Encoder", ("fp32",), "V100"),
+    "Longformer": ("Arxiv", "Encoder", ("fp32",), "V100"),
+    "Museformer": ("LMD", "Decoder", ("fp32",), "V100"),
+}

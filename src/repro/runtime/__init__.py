@@ -1,0 +1,25 @@
+"""Runtime: the execution engine, sessions, training, and reporting."""
+
+from .engine import (
+    TRAINING_STATE_MULTIPLIER,
+    RunReport,
+    run_transformer,
+    speedup_table,
+)
+from .report import format_speedups, format_table
+from .session import BACKENDS_BY_NAME, make_backend, run_lineup
+from .training import SparseTrainingReport, sparse_training_step
+
+__all__ = [
+    "BACKENDS_BY_NAME",
+    "RunReport",
+    "SparseTrainingReport",
+    "TRAINING_STATE_MULTIPLIER",
+    "format_speedups",
+    "format_table",
+    "make_backend",
+    "run_lineup",
+    "run_transformer",
+    "sparse_training_step",
+    "speedup_table",
+]

@@ -1,0 +1,208 @@
+"""The execution engine: walk a transformer workload against one backend.
+
+For every layer the engine prices the standard pre-LN transformer op
+sequence (LN, QKV projections, attention, output projection, residual, LN,
+FFN-or-MoE, residual) through the backend's primitives, books memory into a
+:class:`~repro.hw.MemoryTracker`, and collects a
+:class:`~repro.hw.Timeline`.  OOM and unsupported-model events become
+structured results instead of exceptions, matching how the paper reports
+baseline crashes ("OOM" bars, missing lines).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..baselines.backends import ModelBackend, UnsupportedModelError
+from ..hw.memtracker import MemoryTracker, OutOfMemoryError
+from ..hw.spec import dtype_bytes
+from ..hw.timeline import ExecReport, Timeline
+from ..models.workloads import Workload
+
+
+@dataclass
+class RunReport:
+    """Outcome of one simulated end-to-end run."""
+
+    model: str
+    backend: str
+    mode: str  # "inference" | "training"
+    latency_ms: float = 0.0
+    convert_ms: float = 0.0
+    peak_mem_gib: float = 0.0
+    oom: bool = False
+    unsupported: bool = False
+    error: Optional[str] = None
+    timeline: Timeline = field(default_factory=Timeline)
+
+    @property
+    def ok(self) -> bool:
+        return not (self.oom or self.unsupported)
+
+    def describe(self) -> str:
+        if self.oom:
+            return f"{self.backend:18s} OOM ({self.error})"
+        if self.unsupported:
+            return f"{self.backend:18s} unsupported ({self.error})"
+        return (
+            f"{self.backend:18s} {self.latency_ms:10.2f} ms "
+            f"(convert {self.convert_ms:8.2f} ms)  mem {self.peak_mem_gib:6.2f} GiB"
+        )
+
+
+#: Optimizer-state multiplier for training: gradients + Adam m/v, all at the
+#: weight dtype (the paper fine-tunes without ZeRO sharding on one GPU).
+TRAINING_STATE_MULTIPLIER = 3
+
+
+#: Effective per-direction NVLink bandwidth for tensor-parallel allreduce.
+NVLINK_GBS = 130.0
+
+
+def run_transformer(
+    workload: Workload,
+    backend: ModelBackend,
+    *,
+    mode: str = "inference",
+    enforce_memory: bool = True,
+    model_family_check: bool = True,
+    devices: int = 1,
+) -> RunReport:
+    """Price one forward (or forward+backward) pass of ``workload``.
+
+    ``devices > 1`` models tensor parallelism the way the paper runs
+    OPT-13B/30B on eight V100s: weights, optimizer state and activations
+    shard evenly, per-layer compute divides by the device count, and every
+    layer pays two ring-allreduces over the token activations.
+    """
+    if mode not in ("inference", "training"):
+        raise ValueError(f"mode must be inference|training, got {mode!r}")
+    if devices < 1:
+        raise ValueError("devices must be >= 1")
+    cfg = workload.config
+    report = RunReport(model=cfg.name, backend=backend.name, mode=mode)
+    mem = MemoryTracker(backend.spec, enforce_capacity=enforce_memory)
+    timeline = Timeline()
+    backend.set_fusion(mode == "inference")
+
+    try:
+        if model_family_check and hasattr(backend, "check_model"):
+            backend.check_model(cfg.family, workload.max_len)
+
+        dsize = dtype_bytes(backend.dtype)
+        weight_bytes = cfg.param_count() * dsize // devices
+        mem.alloc(weight_bytes, "weights", category="weights")
+        if mode == "training":
+            mem.alloc(
+                weight_bytes * TRAINING_STATE_MULTIPLIER,
+                "optimizer",
+                category="optimizer",
+            )
+
+        lengths = workload.lengths
+        d, heads, d_ff = cfg.d_model, cfg.heads, cfg.d_ff
+        total_layers = cfg.n_layers + cfg.decoder_layers
+
+        # Embedding lookup (bandwidth-bound; identical across backends).
+        from ..hw.costmodel import elementwise_time_us
+
+        tokens = backend.padded_tokens(lengths)
+        timeline.record(
+            "embedding",
+            elementwise_time_us(tokens * d, backend.dtype, backend.spec),
+        )
+        mem.alloc(tokens * d * dsize, "embedding.out", category="activations")
+
+        for layer in range(total_layers):
+            reports = []
+            reports += backend.layernorm(lengths, d)
+            for name in ("attn.q", "attn.k", "attn.v"):
+                reports += backend.linear(lengths, d, d, label=name, mem=mem)
+            reports += backend.attention(
+                lengths,
+                heads,
+                cfg.head_dim,
+                attn_mask=workload.attn_stats,
+                causal=cfg.causal,
+                mem=mem,
+            )
+            reports += backend.linear(lengths, d, d, label="attn.proj", mem=mem)
+            reports += backend.pointwise(lengths, d)
+            reports += backend.layernorm(lengths, d)
+            routing = workload.routing_for(layer)
+            if routing is not None:
+                # Padding systems route every padded position; PIT routes
+                # only real tokens.  Rescale the canonical routing to this
+                # backend's effective token count.
+                routing = routing.scaled_to(backend.padded_tokens(lengths))
+                reports += backend.moe_ffn(routing, d, d_ff, mem=mem)
+            else:
+                reports += backend.ffn(
+                    lengths,
+                    d,
+                    d_ff,
+                    activation=cfg.activation,
+                    act_sparsity=workload.act_sparsity,
+                    seed=workload.seed * 31 + layer,
+                    mem=mem,
+                )
+            reports += backend.pointwise(lengths, d)
+            if devices > 1:
+                # Tensor parallelism: compute divides across devices; two
+                # allreduces per layer move the token activations around
+                # the ring (2x the payload bytes each).
+                for r in reports:
+                    r.latency_us /= devices
+                    r.convert_us /= devices
+                comm_bytes = tokens * d * dsize
+                comm_us = 2 * (2.0 * comm_bytes / (NVLINK_GBS * 1e3))
+                reports.append(
+                    ExecReport(op="tp.allreduce", latency_us=comm_us)
+                )
+            for r in reports:
+                timeline.add(r)
+
+            if mode == "inference":
+                # Intra-layer activations die once the layer output exists.
+                mem.free_category("activations")
+                mem.free_category("conversion")
+                mem.free_category("padding")
+                mem.alloc(tokens * d * dsize, f"layer{layer}.out", "activations")
+
+        if mode == "training":
+            # Backward costs ~2x forward compute (two matmuls per forward
+            # matmul) and rebuilds sparse indexes for the gradient masks.
+            backward = timeline.scaled(2.0)
+            timeline.extend(backward)
+
+        report.latency_ms = timeline.total_ms
+        report.convert_ms = timeline.convert_ms
+        report.peak_mem_gib = mem.peak_gib
+        report.timeline = timeline
+    except OutOfMemoryError as exc:
+        report.oom = True
+        report.error = str(exc)
+        report.peak_mem_gib = mem.spec.mem_capacity_gib
+    except UnsupportedModelError as exc:
+        report.unsupported = True
+        report.error = str(exc)
+    finally:
+        backend.set_fusion(False)
+    return report
+
+
+def speedup_table(reports: list, *, reference: str = "PIT") -> dict:
+    """Speedups of ``reference`` over every other (successful) backend."""
+    by_name = {r.backend: r for r in reports}
+    if reference not in by_name or not by_name[reference].ok:
+        raise KeyError(f"no successful {reference!r} run among the reports")
+    ref_latency = by_name[reference].latency_ms
+    table = {}
+    for name, rep in by_name.items():
+        if name == reference or not rep.ok:
+            continue
+        table[name] = rep.latency_ms / ref_latency
+    return table

@@ -1,0 +1,43 @@
+"""Report formatting: the paper-style rows the benchmarks print."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+def format_table(headers: Iterable, rows: Iterable, *, title: str = "") -> str:
+    """Fixed-width table rendering for benchmark output."""
+    headers = [str(h) for h in headers]
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000:
+            return f"{cell:,.0f}"
+        if abs(cell) >= 10:
+            return f"{cell:.1f}"
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def format_speedups(table: dict, *, reference: str = "PIT") -> str:
+    """Render a speedup dict as 'PIT is N.Nx faster than X' lines."""
+    lines = []
+    for name, speedup in sorted(table.items(), key=lambda kv: -kv[1]):
+        lines.append(f"{reference} is {speedup:.2f}x faster than {name}")
+    return "\n".join(lines)

@@ -1,0 +1,96 @@
+"""High-level sessions: run one model across the paper's backend lineup.
+
+These are the entry points the benchmarks and examples call: build the
+workload, instantiate the backends that apply (respecting dtype support and
+model-family restrictions), run them all, and return comparable reports.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..baselines import (
+    DeepSpeedBackend,
+    LongformerSBackend,
+    MegaBlocksBackend,
+    ModelBackend,
+    PITBackend,
+    PyTorchBackend,
+    PyTorchSBackend,
+    TurboTransformerBackend,
+    TutelBackend,
+    TVMBackend,
+    UnsupportedModelError,
+)
+from ..hw.spec import GPUSpec
+from ..models.workloads import Workload
+from .engine import RunReport, run_transformer
+
+#: The standard lineup per figure (paper order).
+BACKENDS_BY_NAME = {
+    "PyTorch": PyTorchBackend,
+    "PyTorch-S": PyTorchSBackend,
+    "Tutel": TutelBackend,
+    "DeepSpeed": DeepSpeedBackend,
+    "MegaBlocks": MegaBlocksBackend,
+    "TurboTransformer": TurboTransformerBackend,
+    "Longformer-S": LongformerSBackend,
+    "TVM": TVMBackend,
+    "PIT": PITBackend,
+}
+
+
+def make_backend(
+    name: str, spec: GPUSpec, dtype: str = "float32", **kwargs
+) -> ModelBackend:
+    try:
+        cls = BACKENDS_BY_NAME[name]
+    except KeyError:
+        known = ", ".join(sorted(BACKENDS_BY_NAME))
+        raise KeyError(f"unknown backend {name!r}; known: {known}") from None
+    return cls(spec, dtype, **kwargs)
+
+
+def run_lineup(
+    workload: Workload,
+    backend_names,
+    spec: GPUSpec,
+    dtype: str = "float32",
+    *,
+    mode: str = "inference",
+    enforce_memory: bool = True,
+    backend_kwargs: Optional[dict] = None,
+    devices: int = 1,
+) -> list:
+    """Run one workload across several backends; failures become reports.
+
+    Backends that do not ship kernels for the requested dtype (MegaBlocks in
+    fp32) are reported as unsupported rather than raised, matching how the
+    paper's figures simply omit them.
+    """
+    backend_kwargs = backend_kwargs or {}
+    reports = []
+    for name in backend_names:
+        try:
+            backend = make_backend(name, spec, dtype, **backend_kwargs.get(name, {}))
+        except UnsupportedModelError as exc:
+            reports.append(
+                RunReport(
+                    model=workload.config.name,
+                    backend=name,
+                    mode=mode,
+                    unsupported=True,
+                    error=str(exc),
+                )
+            )
+            continue
+        reports.append(
+            run_transformer(
+                workload,
+                backend,
+                mode=mode,
+                enforce_memory=enforce_memory,
+                devices=devices,
+            )
+        )
+    return reports

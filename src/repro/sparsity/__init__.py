@@ -1,0 +1,78 @@
+"""Dynamic-sparsity workload generators: the paper's four sparsity families
+(dynamic attention, MoE routing, varying sequence lengths, sparse training)
+plus activation sparsity and the pattern-repetition study."""
+
+from .activation import measured_sparsity, relu_activation_mask, relu_mask_stream
+from .attention import (
+    MaskStats,
+    as_mask_stats,
+    dynamic_token_mask,
+    global_token_positions,
+    longformer_mask,
+    longformer_mask_rows,
+    longformer_mask_stats,
+    mask_sparsity,
+    museformer_mask,
+    museformer_mask_rows,
+    museformer_mask_stats,
+    museformer_summary_positions,
+    sliding_window_mask,
+)
+from .generators import (
+    PatternHitCounter,
+    pattern_fingerprint,
+    relu_pattern_stream,
+    seqlen_pattern_stream,
+)
+from .masks import (
+    MagnitudePruner,
+    PruningSchedule,
+    granular_mask,
+    two_four_mask,
+)
+from .moe import Router, RoutingResult, capacity_tokens, drop_overflow
+from .seqlen import (
+    BERT_DATASETS,
+    DATASETS,
+    GLUE_TASKS,
+    LengthDistribution,
+    get_dataset,
+    pad_to_multiple,
+)
+
+__all__ = [
+    "BERT_DATASETS",
+    "DATASETS",
+    "GLUE_TASKS",
+    "LengthDistribution",
+    "MagnitudePruner",
+    "MaskStats",
+    "PatternHitCounter",
+    "PruningSchedule",
+    "Router",
+    "RoutingResult",
+    "as_mask_stats",
+    "capacity_tokens",
+    "drop_overflow",
+    "dynamic_token_mask",
+    "get_dataset",
+    "global_token_positions",
+    "granular_mask",
+    "longformer_mask",
+    "longformer_mask_rows",
+    "longformer_mask_stats",
+    "mask_sparsity",
+    "measured_sparsity",
+    "museformer_mask",
+    "museformer_mask_rows",
+    "museformer_mask_stats",
+    "museformer_summary_positions",
+    "pad_to_multiple",
+    "pattern_fingerprint",
+    "relu_activation_mask",
+    "relu_mask_stream",
+    "relu_pattern_stream",
+    "seqlen_pattern_stream",
+    "sliding_window_mask",
+    "two_four_mask",
+]

@@ -1,0 +1,73 @@
+"""Activation sparsity generators (ReLU FFN sparsity, Figure 2d / OPT eval).
+
+Section 5.1: the activation outputs of OPT / Switch Transformer / T5 have a
+sparsity ratio of 95-99.9% — after ReLU, almost every element of the FFN's
+intermediate activation is exactly zero, and the second FFN matmul can skip
+the zero columns.
+
+The generators here produce masks with the *structure* such activations have:
+per-row (token) sparsity levels drawn around a target ratio, with a set of
+"hot" neurons that fire across many tokens (the head of the empirical neuron
+firing distribution) and a long random tail.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def relu_activation_mask(
+    num_tokens: int,
+    hidden: int,
+    sparsity: float,
+    *,
+    hot_fraction: float = 0.02,
+    seed: int = 0,
+) -> np.ndarray:
+    """A [num_tokens, hidden] boolean mask of non-zero post-ReLU activations.
+
+    ``sparsity`` is the target zero fraction (e.g. 0.99 for OPT).  A
+    ``hot_fraction`` of neurons fire with high probability for every token
+    (shared features), the rest fire independently so that each token's
+    non-zero set differs — which is what makes the pattern *dynamic*.
+    """
+    if not 0.0 <= sparsity < 1.0:
+        raise ValueError("sparsity must be in [0, 1)")
+    if not 0.0 <= hot_fraction <= 1.0:
+        raise ValueError("hot_fraction must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    density = 1.0 - sparsity
+    num_hot = int(hidden * hot_fraction)
+    # Hot neurons fire for most tokens but must not exceed the density
+    # budget; they take at most half of it.
+    hot_budget = min(0.9, (density * hidden) / (2 * max(1, num_hot)))
+    mask = np.zeros((num_tokens, hidden), dtype=bool)
+    if num_hot:
+        hot_ids = rng.choice(hidden, size=num_hot, replace=False)
+        mask[:, hot_ids] = rng.random((num_tokens, num_hot)) < hot_budget
+    # Remaining budget spread uniformly over all neurons.
+    used = mask.mean()
+    remaining = max(0.0, density - used)
+    mask |= rng.random((num_tokens, hidden)) < remaining
+    return mask
+
+
+def relu_mask_stream(
+    num_batches: int,
+    num_tokens: int,
+    hidden: int,
+    sparsity: float,
+    *,
+    seed: int = 0,
+):
+    """Yield per-batch activation masks — every batch's pattern is fresh,
+    which is why memoizing compiled kernels per pattern fails (Figure 20)."""
+    for i in range(num_batches):
+        yield relu_activation_mask(
+            num_tokens, hidden, sparsity, seed=seed * 99991 + i
+        )
+
+
+def measured_sparsity(mask: np.ndarray) -> float:
+    """Zero fraction of a mask (sanity-check helper used by benches)."""
+    return 1.0 - float(np.count_nonzero(mask)) / mask.size

@@ -1,0 +1,135 @@
+"""Mixture-of-Experts routing (Figure 2b).
+
+A gating function assigns each token to expert(s); each expert computes only
+its routed tokens, so every expert's matmul is dynamically sparse.  The key
+workload property the Switch Transformer figures depend on is the *imbalance*
+of the token distribution: padding-based systems (Tutel, DeepSpeed) must pad
+every expert to the max (or a fixed capacity), so their cost follows the
+busiest expert while PIT's follows the total token count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..tensor.ops import softmax
+
+
+@dataclass
+class RoutingResult:
+    """Token-to-expert assignment for one batch."""
+
+    #: [num_tokens] expert id per token (top-1 routing).
+    assignment: np.ndarray
+    #: [num_experts] token count per expert.
+    counts: np.ndarray
+    #: [num_tokens, num_experts] router probabilities (for aux losses).
+    probs: np.ndarray
+
+    @property
+    def num_tokens(self) -> int:
+        return int(self.assignment.size)
+
+    @property
+    def num_experts(self) -> int:
+        return int(self.counts.size)
+
+    @property
+    def max_tokens_per_expert(self) -> int:
+        return int(self.counts.max()) if self.counts.size else 0
+
+    def imbalance(self) -> float:
+        """Max/mean token load — 1.0 is perfectly even."""
+        mean = self.counts.mean() if self.counts.size else 0.0
+        return float(self.counts.max() / mean) if mean > 0 else 0.0
+
+    def scaled_to(self, num_tokens: int) -> "RoutingResult":
+        """The same routing distribution over a different token count.
+
+        Systems disagree on how many tokens reach the MoE layer: padding
+        systems route every padded position, PIT routes only real tokens.
+        This rescales the per-expert counts proportionally (largest experts
+        absorb rounding) so all backends see the same load *shape*.
+        """
+        if num_tokens == self.num_tokens:
+            return self
+        if num_tokens < 0:
+            raise ValueError("num_tokens must be non-negative")
+        if self.num_tokens == 0:
+            counts = np.zeros_like(self.counts)
+            counts[0] = num_tokens
+        else:
+            counts = np.floor(
+                self.counts * (num_tokens / self.num_tokens)
+            ).astype(int)
+            deficit = num_tokens - int(counts.sum())
+            order = np.argsort(-self.counts)
+            for i in range(deficit):
+                counts[order[i % order.size]] += 1
+        assignment = np.repeat(np.arange(counts.size), counts)
+        return RoutingResult(
+            assignment=assignment, counts=counts, probs=self.probs
+        )
+
+
+class Router:
+    """A Switch-style top-1 router with controllable imbalance.
+
+    ``concentration`` shapes the expert popularity distribution: 1.0 gives a
+    uniform Dirichlet (mild natural imbalance); smaller values give the
+    heavily skewed loads real routers exhibit before load-balancing losses
+    kick in.
+    """
+
+    def __init__(self, num_experts: int, *, concentration: float = 0.5, seed: int = 0):
+        if num_experts < 1:
+            raise ValueError("num_experts must be >= 1")
+        if concentration <= 0:
+            raise ValueError("concentration must be positive")
+        self.num_experts = num_experts
+        self.concentration = concentration
+        self._rng = np.random.default_rng(seed)
+        #: Expert popularity prior (fixed per router instance; the paper's
+        #: routers are trained, so popularity is stable across batches while
+        #: individual token assignments vary).
+        self.popularity = self._rng.dirichlet(
+            np.full(num_experts, concentration)
+        )
+
+    def route(self, num_tokens: int, *, seed: int = 0) -> RoutingResult:
+        """Assign ``num_tokens`` tokens to experts (top-1)."""
+        rng = np.random.default_rng(seed ^ 0x5EED)
+        logits = rng.standard_normal((num_tokens, self.num_experts))
+        logits += np.log(self.popularity + 1e-12)  # popularity bias
+        probs = softmax(logits, axis=-1)
+        assignment = probs.argmax(axis=-1)
+        counts = np.bincount(assignment, minlength=self.num_experts)
+        return RoutingResult(assignment=assignment, counts=counts, probs=probs)
+
+
+def capacity_tokens(num_tokens: int, num_experts: int, capacity_factor: float) -> int:
+    """Tutel/DeepSpeed-style expert capacity: every expert's buffer is padded
+    to ``capacity_factor * num_tokens / num_experts`` tokens."""
+    if capacity_factor <= 0:
+        raise ValueError("capacity_factor must be positive")
+    import math
+
+    return max(1, math.ceil(capacity_factor * num_tokens / num_experts))
+
+
+def drop_overflow(result: RoutingResult, capacity: int) -> RoutingResult:
+    """Apply a hard capacity: tokens over an expert's capacity are dropped
+    (assignment -1), as Tutel/DeepSpeed do when buffers fill."""
+    if capacity < 1:
+        raise ValueError("capacity must be >= 1")
+    assignment = result.assignment.copy()
+    fill = np.zeros(result.num_experts, dtype=int)
+    for i, e in enumerate(assignment):
+        if fill[e] >= capacity:
+            assignment[i] = -1
+        else:
+            fill[e] += 1
+    counts = np.bincount(assignment[assignment >= 0], minlength=result.num_experts)
+    return RoutingResult(assignment=assignment, counts=counts, probs=result.probs)

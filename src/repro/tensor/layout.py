@@ -1,0 +1,47 @@
+"""Memory layouts for 2-D tensors.
+
+PIT's micro-tile derivation depends on layout (Section 3.2): micro-tiles must
+be *non-contiguous on the PIT-axis* so that each micro-tile is a full memory
+transaction on the other axes.  When the sparse tensor happens to be
+contiguous on the PIT-axis, PIT changes the layout "in a piggyback manner at
+the output of the previous operator", which is free; :func:`needs_transpose`
+captures that decision.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class Layout(Enum):
+    """Storage order of a 2-D tensor."""
+
+    ROW_MAJOR = "row_major"
+    COL_MAJOR = "col_major"
+
+    @property
+    def contiguous_axis(self) -> int:
+        """The axis along which consecutive elements are adjacent in memory.
+
+        Row-major: axis 1 (columns within a row are adjacent).
+        Col-major: axis 0.
+        """
+        return 1 if self is Layout.ROW_MAJOR else 0
+
+    def transposed(self) -> "Layout":
+        if self is Layout.ROW_MAJOR:
+            return Layout.COL_MAJOR
+        return Layout.ROW_MAJOR
+
+
+def needs_transpose(layout: Layout, pit_axis: int) -> bool:
+    """Whether a tensor must flip layout before SRead on ``pit_axis``.
+
+    SRead gathers whole micro-tiles: rows of extent 1 on the PIT-axis and full
+    tile extent on the other axis.  Those runs are contiguous exactly when the
+    PIT-axis is *not* the contiguous axis.  If it is, the tensor's producer
+    re-emits it in the flipped layout (negligible piggyback cost).
+    """
+    if pit_axis not in (0, 1):
+        raise ValueError(f"pit_axis must be 0 or 1 for 2-D layouts, got {pit_axis}")
+    return layout.contiguous_axis == pit_axis

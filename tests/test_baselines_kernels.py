@@ -1,0 +1,153 @@
+"""Tests for the kernel-level SpMM baselines (Figures 3b, 16, 18 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    CuSparseKernel,
+    DenseKernelBaseline,
+    PITSpmmKernel,
+    SparTAKernel,
+    SputnikKernel,
+    TritonBlockSparseKernel,
+    mean_run_length,
+    triton_convert_passes,
+)
+from repro.hw import V100
+from repro.sparsity import granular_mask
+
+
+@pytest.fixture(scope="module")
+def fine_mask():
+    """32x1-granular mask at 95% sparsity (Figure 16's hardest panel)."""
+    return granular_mask((2048, 2048), (32, 1), 0.95, seed=0)
+
+
+@pytest.fixture(scope="module")
+def coarse_mask():
+    """32x64-granular mask at 95% (the block-friendly panel)."""
+    return granular_mask((2048, 2048), (32, 64), 0.95, seed=0)
+
+
+class TestCuSparse:
+    def test_conversion_is_significant_at_high_sparsity(self):
+        """Figure 3b: the dense->CSR build is a visible fraction of the
+        total even when only 1% of values survive."""
+        mask = granular_mask((2048, 2048), (1, 1), 0.99, seed=1)
+        r = CuSparseKernel(V100).spmm(mask, 2048)
+        assert r.convert_us > 0.05 * r.compute_us
+        # ... and it scales with the dense area, not with nnz.
+        big = CuSparseKernel(V100).spmm(
+            granular_mask((4096, 4096), (1, 1), 0.99, seed=1), 2048
+        )
+        assert big.convert_us > 3 * r.convert_us
+
+    def test_compute_scales_with_nnz(self):
+        k = CuSparseKernel(V100)
+        lo = k.spmm(granular_mask((1024, 1024), (1, 1), 0.99, seed=0), 1024)
+        hi = k.spmm(granular_mask((1024, 1024), (1, 1), 0.90, seed=0), 1024)
+        assert hi.compute_us > 5 * lo.compute_us
+
+    def test_functional_matches_dense(self):
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((64, 64)) * (rng.random((64, 64)) < 0.2)
+        b = rng.standard_normal((64, 32))
+        out, _ = CuSparseKernel(V100).run_functional(a, b)
+        np.testing.assert_allclose(out, a @ b, atol=1e-10)
+
+    def test_slower_than_dense_at_low_sparsity(self):
+        """Figure 3b: at 70% sparsity cuSPARSE loses to dense cuBLAS."""
+        mask = granular_mask((2048, 2048), (1, 1), 0.70, seed=2)
+        cs = CuSparseKernel(V100).spmm(mask, 2048)
+        dense = DenseKernelBaseline(V100).spmm(mask, 2048)
+        assert cs.total_us > dense.total_us
+
+
+class TestSputnik:
+    def test_run_length_detector(self):
+        assert mean_run_length(np.array([[1, 1, 1, 0, 1]], dtype=bool)) == 2.0
+        assert mean_run_length(np.zeros((2, 2), dtype=bool)) == 0.0
+
+    def test_faster_than_cusparse(self, fine_mask):
+        sp = SputnikKernel(V100).spmm(fine_mask, 2048)
+        cs = CuSparseKernel(V100).spmm(fine_mask, 2048)
+        assert sp.compute_us < cs.compute_us
+
+    def test_horizontal_runs_help(self):
+        k = SputnikKernel(V100)
+        vert = granular_mask((1024, 1024), (32, 1), 0.95, seed=0)
+        horz = granular_mask((1024, 1024), (1, 64), 0.95, seed=0)
+        assert k.efficiency(horz) > k.efficiency(vert)
+
+
+class TestTritonBlock:
+    def test_block_cover_waste(self, fine_mask):
+        r = TritonBlockSparseKernel(V100, block=32).spmm(fine_mask, 2048)
+        assert r.detail["coverage_waste"] > 0.5
+
+    def test_no_waste_on_aligned_blocks(self):
+        mask = granular_mask((1024, 1024), (32, 32), 0.9, seed=0)
+        r = TritonBlockSparseKernel(V100, block=32).spmm(mask, 1024)
+        assert r.detail["coverage_waste"] == pytest.approx(0.0)
+
+    def test_convert_passes_grow_with_block(self):
+        assert triton_convert_passes(32) > triton_convert_passes(16)
+
+    def test_rejects_tiny_blocks(self):
+        with pytest.raises(ValueError):
+            TritonBlockSparseKernel(V100, block=4)
+
+
+class TestSparTA:
+    def test_compile_cost_off_by_default(self, coarse_mask):
+        r = SparTAKernel(V100).spmm(coarse_mask, 2048)
+        assert r.convert_us == 0.0
+
+    def test_compile_cost_when_dynamic(self, coarse_mask):
+        r = SparTAKernel(V100, include_compile=True).spmm(coarse_mask, 2048)
+        assert r.convert_us == pytest.approx(500e6)  # ~500 seconds
+
+    def test_beats_triton_on_fine_granularity(self, fine_mask):
+        """Figure 16: granularity alignment beats 32x32 blocks at 32x1."""
+        sparta = SparTAKernel(V100).spmm(fine_mask, 2048)
+        triton = TritonBlockSparseKernel(V100, block=32).spmm(fine_mask, 2048)
+        assert sparta.compute_us < triton.compute_us
+
+
+class TestPITKernelLevel:
+    def test_beats_all_baselines_on_fine_granularity(self, fine_mask):
+        """The Figure 16 headline at 32x1."""
+        n = 2048
+        pit = PITSpmmKernel(V100).spmm(fine_mask, n)
+        for k in (
+            CuSparseKernel(V100),
+            SputnikKernel(V100),
+            TritonBlockSparseKernel(V100, block=32),
+            SparTAKernel(V100),
+        ):
+            assert pit.compute_us < k.spmm(fine_mask, n).compute_us, k.name
+
+    def test_close_to_triton_on_coarse_blocks(self, coarse_mask):
+        """Figure 16 at 32x64: PIT ~ OpenAI block sparse (same dense tiles)."""
+        pit = PITSpmmKernel(V100).spmm(coarse_mask, 2048)
+        triton = TritonBlockSparseKernel(V100, block=32).spmm(coarse_mask, 2048)
+        assert pit.compute_us < 1.3 * triton.compute_us
+
+    def test_convert_far_below_triton(self, fine_mask):
+        """Figure 18: PIT's index build is an order of magnitude cheaper."""
+        pit = PITSpmmKernel(V100)
+        triton = TritonBlockSparseKernel(V100, block=32)
+        pit_convert = pit.convert_us(fine_mask, (32, 32))
+        assert triton.convert_us(fine_mask) > 10 * pit_convert
+
+    def test_dense_fallback_at_low_sparsity(self):
+        mask = granular_mask((1024, 1024), (1, 1), 0.10, seed=0)
+        r = PITSpmmKernel(V100).spmm(mask, 1024)
+        assert r.detail.get("fallback")
+        assert r.convert_us == 0.0
+
+    def test_tensor_core_variant(self):
+        mask = granular_mask((1024, 1024), (32, 1), 0.95, seed=0)
+        fp16 = PITSpmmKernel(V100, "float16", tensor_core=True).spmm(mask, 1024)
+        fp32 = PITSpmmKernel(V100, "float32").spmm(mask, 1024)
+        assert fp16.compute_us < fp32.compute_us

@@ -1,0 +1,123 @@
+"""Tests for tensor-expression parsing and PIT-axis inference (Theorem 1)."""
+
+import pytest
+
+from repro.core import (
+    OPERATOR_EXPRESSIONS,
+    TABLE1_PIT_AXES,
+    AxisKind,
+    ParseError,
+    ReduceOp,
+    classify_axes,
+    get_operator_expr,
+    is_pit_axis,
+    parse_expr,
+    pit_axes,
+    table1_rows,
+)
+
+
+class TestParser:
+    def test_matmul(self):
+        e = parse_expr("C[m, n] += A[m, k] * B[k, n]")
+        assert e.output.name == "C"
+        assert e.input_names() == ("A", "B")
+        assert e.reduce_op is ReduceOp.SUM
+        assert e.elementwise_op == "*"
+        assert e.all_axes() == ("m", "n", "k")
+
+    def test_vector_add(self):
+        e = parse_expr("C[p] = A[p] + B[p]")
+        assert e.reduce_op is ReduceOp.NONE
+        assert e.elementwise_op == "+"
+
+    def test_compound_indices(self):
+        e = parse_expr("C[n, f, x, y] += A[n, m, x+i, y+j] * B[f, m, i, j]")
+        assert e.derived_axes() == frozenset({"x", "i", "y", "j"})
+        a = e.tensor("A")
+        assert a.indices[2].is_compound
+        assert a.indices[2].axes == ("x", "i")
+
+    def test_max_reduction(self):
+        e = parse_expr("C[p] max= A[p, l]")
+        assert e.reduce_op is ReduceOp.MAX
+
+    def test_axis_position(self):
+        e = parse_expr("C[m, n] += A[m, k] * B[k, n]")
+        assert e.tensor("A").axis_position("k") == 1
+        assert e.tensor("B").axis_position("k") == 0
+        assert e.tensor("A").axis_position("n") is None
+
+    def test_str_roundtrip_info(self):
+        e = parse_expr("C[m, n] += A[m, k] * B[k, n]")
+        assert str(e.tensor("A")) == "A[m, k]"
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "C[m, n] A[m, k]",            # no assignment
+            "C[] += A[m]",                # empty indices
+            "C[m] += A[m] * A[m]",        # duplicate names
+            "C[m, q] += A[m, k] * B[k, n]",  # output axis from nowhere
+            "C[m] = A[m, k]",             # reduction without combinator
+            "C[m] += A[m, k+k]",          # repeated axis in a slot
+        ],
+    )
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ParseError):
+            parse_expr(bad)
+
+    def test_unbalanced_brackets(self):
+        with pytest.raises(ParseError):
+            parse_expr("C[m] += A[m * B[m]")
+
+
+class TestTheorem1:
+    def test_table1_reproduced(self):
+        """The headline check: inferred PIT-axes match Table 1 exactly."""
+        for name, _, inferred in table1_rows():
+            assert frozenset(inferred) == frozenset(TABLE1_PIT_AXES[name]), name
+
+    def test_spatial_axes_are_pit(self):
+        e = parse_expr("C[m, n] += A[m, k] * B[k, n]")
+        axes = classify_axes(e)
+        assert axes["m"].kind is AxisKind.SPATIAL and axes["m"].is_pit
+        assert axes["n"].kind is AxisKind.SPATIAL and axes["n"].is_pit
+
+    def test_sum_reduction_axis_is_pit(self):
+        e = parse_expr("C[m, n] += A[m, k] * B[k, n]")
+        info = classify_axes(e)["k"]
+        assert info.kind is AxisKind.REDUCTION and info.is_pit
+
+    def test_derived_axes_are_not_pit(self):
+        e = get_operator_expr("Convolution")
+        axes = classify_axes(e)
+        for name in ("x", "y", "i", "j"):
+            assert axes[name].kind is AxisKind.DERIVED
+            assert not axes[name].is_pit
+
+    def test_conv_pit_axes(self):
+        assert frozenset(pit_axes(get_operator_expr("Convolution"))) == {
+            "n",
+            "m",
+            "f",
+        }
+
+    def test_is_pit_axis_raises_on_unknown(self):
+        e = get_operator_expr("MatMul")
+        with pytest.raises(KeyError):
+            is_pit_axis(e, "z")
+
+    def test_every_registered_operator_parses(self):
+        for name in OPERATOR_EXPRESSIONS:
+            expr = get_operator_expr(name)
+            assert expr.all_axes()
+
+    def test_unknown_operator(self):
+        with pytest.raises(KeyError, match="MatMul"):
+            get_operator_expr("FlashAttention")
+
+    def test_reasons_are_informative(self):
+        axes = classify_axes(get_operator_expr("Convolution"))
+        assert "index arithmetic" in axes["x"].reason
+        assert "commutative" in axes["m"].reason

@@ -1,0 +1,204 @@
+"""Tests for the TileDB, Algorithm 1 selection, rules, compiler and policies."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DenseMatmulKernel,
+    PagedAttentionPolicy,
+    PITCompiler,
+    SeqLenPolicy,
+    SparseMatmulKernel,
+    TileDB,
+    batch_matmul_multi_axis_rules,
+    kernel_selection,
+    matmul_axes_for_operand,
+    matmul_rules,
+)
+from repro.hw import V100, TileConfig
+
+
+def granular_mask(shape, granularity, sparsity, seed=0):
+    gh, gw = granularity
+    rng = np.random.default_rng(seed)
+    grid = rng.random((shape[0] // gh, shape[1] // gw)) >= sparsity
+    return np.kron(grid, np.ones(granularity, dtype=bool))
+
+
+@pytest.fixture(scope="module")
+def tiledb():
+    return TileDB(V100, "float32")
+
+
+class TestTileDB:
+    def test_nonempty(self, tiledb):
+        assert len(tiledb) >= 10
+
+    def test_tile_cost_affine(self, tiledb):
+        entry = tiledb.tiles()[0]
+        c1 = entry.tile_cost_us(entry.tile.tk)
+        c2 = entry.tile_cost_us(2 * entry.tile.tk)
+        c3 = entry.tile_cost_us(3 * entry.tile.tk)
+        assert c2 - c1 == pytest.approx(c3 - c2, rel=1e-6)
+
+    def test_best_dense_tile_prefers_large(self, tiledb):
+        best = tiledb.best_dense_tile(4096, 4096, 4096)
+        assert best.tile.output_elems >= 32 * 32
+
+    def test_entry_lookup(self, tiledb):
+        tile = tiledb.tiles()[0].tile
+        assert tiledb.entry_for(tile).tile == tile
+        with pytest.raises(KeyError):
+            tiledb.entry_for(TileConfig(3, 3, 3))
+
+
+class TestRules:
+    def test_axes_for_operand(self):
+        assert set(matmul_axes_for_operand("A")) == {"m", "k"}
+        assert set(matmul_axes_for_operand("B")) == {"n", "k"}
+        with pytest.raises(ValueError):
+            matmul_axes_for_operand("C")
+
+    def test_rules_cover_tiles_times_axes(self, tiledb):
+        rules = matmul_rules(tiledb.tiles(), sparse_operand="A")
+        assert len(rules) == 2 * len(tiledb)
+
+    def test_rule_microtile_matches_axis(self, tiledb):
+        for rule in matmul_rules(tiledb.tiles()[:4]):
+            if rule.pit_axis == "m":
+                assert rule.microtile.shape == (1, rule.tile.tk)
+            else:
+                assert rule.microtile.shape == (rule.tile.tm, 1)
+
+    def test_multi_axis_rules(self, tiledb):
+        rules = batch_matmul_multi_axis_rules(tiledb.tiles()[:3])
+        axes = {r.axes for r in rules}
+        assert axes == {("b", "m"), ("b", "n")}
+        extents = {"b": 8, "m": 128, "n": 64}
+        assert rules[0].flattened_extent(extents) == 8 * 128
+
+
+class TestKernelSelection:
+    def test_high_sparsity_picks_sparse(self, tiledb):
+        mask = granular_mask((1024, 1024), (8, 1), 0.99, seed=0)
+        choice = kernel_selection([mask], 1024, 1024, 1024, tiledb)
+        assert not choice.is_dense_fallback
+        assert choice.est_cost_us > 0
+        assert choice.covered_sparsity > 0.5
+
+    def test_dense_input_falls_back(self, tiledb):
+        """Algorithm 1: at low sparsity PIT 'seamlessly falls back to the
+        dense computation'."""
+        mask = np.ones((512, 512), dtype=bool)
+        choice = kernel_selection([mask], 512, 512, 512, tiledb)
+        assert choice.is_dense_fallback
+
+    def test_row_granular_prefers_m_axis(self, tiledb):
+        """Whole zero rows (padding tokens) are best removed on the m-axis."""
+        mask = np.zeros((1024, 1024), dtype=bool)
+        rng = np.random.default_rng(1)
+        rows = rng.choice(1024, size=100, replace=False)
+        mask[rows] = True
+        choice = kernel_selection([mask], 1024, 1024, 1024, tiledb)
+        assert choice.pit_axis == "m"
+
+    def test_column_granular_prefers_k_axis(self, tiledb):
+        mask = np.zeros((1024, 1024), dtype=bool)
+        rng = np.random.default_rng(2)
+        cols = rng.choice(1024, size=100, replace=False)
+        mask[:, cols] = True
+        choice = kernel_selection([mask], 1024, 1024, 1024, tiledb)
+        assert choice.pit_axis == "k"
+
+    def test_multiple_samples_averaged(self, tiledb):
+        masks = [granular_mask((512, 512), (8, 1), 0.95, seed=s) for s in range(3)]
+        choice = kernel_selection(masks, 512, 512, 512, tiledb)
+        assert choice.est_cost_us > 0
+
+    def test_sample_shape_validated(self, tiledb):
+        with pytest.raises(ValueError):
+            kernel_selection([np.ones((4, 4), dtype=bool)], 512, 512, 512, tiledb)
+
+    def test_needs_samples(self, tiledb):
+        with pytest.raises(ValueError):
+            kernel_selection([], 512, 512, 512, tiledb)
+
+    def test_search_time_recorded(self, tiledb):
+        mask = granular_mask((256, 256), (2, 1), 0.9, seed=3)
+        choice = kernel_selection([mask], 256, 256, 256, tiledb)
+        assert choice.search_time_us > 0
+
+
+class TestCompiler:
+    def test_compile_and_run_sparse(self):
+        compiler = PITCompiler(V100)
+        rng = np.random.default_rng(0)
+        mask = np.zeros((1024, 1024), dtype=bool)
+        mask[rng.choice(1024, size=16, replace=False)] = True  # 16 live rows
+        a = rng.standard_normal((1024, 1024)) * mask
+        b = rng.standard_normal((1024, 512))
+        compiled = compiler.compile_matmul([mask], 1024, 1024, 512)
+        res = compiled.run(a, b, mask=mask)
+        np.testing.assert_allclose(res.output, a @ b, atol=1e-10)
+        assert isinstance(compiled.kernel, SparseMatmulKernel)
+
+    def test_dense_fallback_runs(self):
+        compiler = PITCompiler(V100)
+        mask = np.ones((128, 128), dtype=bool)
+        compiled = compiler.compile_matmul([mask], 128, 128, 128)
+        assert isinstance(compiled.kernel, DenseMatmulKernel)
+        rng = np.random.default_rng(1)
+        a, b = rng.standard_normal((128, 128)), rng.standard_normal((128, 128))
+        np.testing.assert_allclose(compiled.run(a, b).output, a @ b, atol=1e-10)
+
+    def test_cache_hits(self):
+        compiler = PITCompiler(V100)
+        mask = granular_mask((256, 256), (8, 1), 0.99)
+        c1 = compiler.compile_matmul([mask], 256, 256, 256)
+        c2 = compiler.compile_matmul([mask], 256, 256, 256)
+        assert c1 is c2
+        assert compiler.cache_size() == 1
+
+    def test_refresh_replaces_cache(self):
+        compiler = PITCompiler(V100)
+        sparse = granular_mask((256, 256), (8, 1), 0.99)
+        c1 = compiler.compile_matmul([sparse], 256, 256, 256)
+        dense = np.ones((256, 256), dtype=bool)
+        c2 = compiler.refresh(c1, [dense])
+        assert c2.choice.is_dense_fallback
+        assert compiler.compile_matmul([sparse], 256, 256, 256) is c2
+
+    def test_estimate_with_fresh_mask(self):
+        compiler = PITCompiler(V100)
+        mask = granular_mask((1024, 1024), (8, 1), 0.99)
+        compiled = compiler.compile_matmul([mask], 1024, 1024, 1024)
+        denser = granular_mask((1024, 1024), (8, 1), 0.5, seed=9)
+        assert compiled.estimate_us(denser) > compiled.estimate_us(mask)
+
+
+class TestPolicies:
+    def test_seqlen_token_mask(self):
+        mask = SeqLenPolicy.token_mask([2, 4], max_len=4)
+        np.testing.assert_array_equal(
+            mask, [True, True, False, False, True, True, True, True]
+        )
+
+    def test_seqlen_rejects_overflow(self):
+        with pytest.raises(ValueError):
+            SeqLenPolicy.token_mask([5], max_len=4)
+
+    def test_paged_attention_gather(self):
+        pool = np.arange(4 * 2 * 3, dtype=float).reshape(4, 2, 3)
+        policy = PagedAttentionPolicy(page_size=2)
+        k = policy.gather_pages(pool, [2, 0])
+        np.testing.assert_array_equal(k[:2], pool[2])
+        np.testing.assert_array_equal(k[2:], pool[0])
+
+    def test_paged_attention_validates_table(self):
+        policy = PagedAttentionPolicy(page_size=2)
+        with pytest.raises(ValueError):
+            policy.gather_pages(np.zeros((2, 2, 2)), [5])
+
+    def test_decisions_labelled(self):
+        assert SeqLenPolicy().decision().pit_axis == "m"
+        assert PagedAttentionPolicy().decision().label == "paged-attention"

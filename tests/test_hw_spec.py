@@ -1,0 +1,67 @@
+"""Tests for the device specification model."""
+
+import pytest
+
+from repro.hw import A100, V100, V100_16GB, GPUSpec, dtype_bytes, get_gpu
+
+
+class TestDtypeBytes:
+    def test_known_dtypes(self):
+        assert dtype_bytes("float32") == 4
+        assert dtype_bytes("float16") == 2
+        assert dtype_bytes("float64") == 8
+        assert dtype_bytes("int8") == 1
+
+    def test_unknown_dtype_raises_with_candidates(self):
+        with pytest.raises(KeyError, match="float32"):
+            dtype_bytes("float33")
+
+
+class TestGPUSpec:
+    def test_a100_parameters(self):
+        assert A100.num_sms == 108
+        assert A100.mem_capacity_gib == 80.0
+        assert A100.transaction_bytes == 32
+
+    def test_v100_parameters(self):
+        assert V100.num_sms == 80
+        assert V100.mem_capacity_gib == 32.0
+
+    def test_fp16_uses_tensor_cores(self):
+        assert A100.peak_flops("float16") == pytest.approx(312e12)
+        assert A100.peak_flops("float32") == pytest.approx(19.5e12)
+
+    def test_fp64_is_half_fp32(self):
+        assert V100.peak_flops("float64") == pytest.approx(V100.peak_flops("float32") / 2)
+
+    def test_bandwidth_bytes_us(self):
+        # 900 GB/s == 900e9 / 1e6 bytes per microsecond
+        assert V100.bandwidth_bytes_us() == pytest.approx(900e3)
+
+    def test_per_sm_shares_sum_to_device(self):
+        assert V100.bandwidth_per_sm_us() * V100.num_sms == pytest.approx(
+            V100.bandwidth_bytes_us()
+        )
+
+    def test_mem_capacity_bytes(self):
+        assert V100.mem_capacity_bytes() == 32 * (1 << 30)
+
+    def test_min_microtile_is_transaction_sized(self):
+        # Paper Section 3.1: 32B transaction -> 1x8 float32, 1x4 float64.
+        assert A100.min_microtile_elems("float32") == 8
+        assert A100.min_microtile_elems("float64") == 4
+        assert A100.min_microtile_elems("float16") == 16
+
+
+class TestRegistry:
+    def test_lookup_case_insensitive(self):
+        assert get_gpu("A100") is A100
+        assert get_gpu("v100-16gb") is V100_16GB
+
+    def test_unknown_gpu_raises(self):
+        with pytest.raises(KeyError, match="known GPUs"):
+            get_gpu("H100")
+
+    def test_specs_are_frozen(self):
+        with pytest.raises(Exception):
+            A100.num_sms = 1  # type: ignore[misc]

@@ -1,0 +1,188 @@
+"""Integration tests: the full pipeline, end to end, plus cross-layer
+invariants the unit tests cannot see.
+
+These exercise compile -> detect -> execute -> verify for each dynamic
+sparsity family, multi-device runs, and hypothesis properties of the
+selection/cover machinery.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import PITBackend, PyTorchBackend
+from repro.core import (
+    CoverCache,
+    PITCompiler,
+    TileDB,
+    dense_matmul_workload,
+    kernel_selection,
+    matmul_workload,
+)
+from repro.hw import A100, V100, TileConfig
+from repro.models import (
+    bert_workload,
+    opt_inference_workload,
+    switch_workload,
+)
+from repro.runtime import run_transformer
+from repro.sparsity import granular_mask
+
+
+@pytest.fixture(scope="module")
+def tiledb():
+    return TileDB(V100, "float32")
+
+
+class TestFullPipeline:
+    """Compile -> online detect -> SRead/SWrite execute -> verify."""
+
+    def test_activation_sparsity_pipeline(self):
+        """OPT-style ReLU activations through the whole compiler."""
+        rng = np.random.default_rng(0)
+        from repro.sparsity import relu_activation_mask
+
+        tokens, d_ff, d_model = 512, 1024, 256
+        act_mask = relu_activation_mask(tokens, d_ff, 0.97, seed=1)
+        act = np.abs(rng.standard_normal((tokens, d_ff))) * act_mask
+        w2 = rng.standard_normal((d_ff, d_model))
+
+        compiler = PITCompiler(V100)
+        compiled = compiler.compile_matmul([act_mask], tokens, d_ff, d_model)
+        result = compiled.run(act, w2, mask=act_mask)
+        np.testing.assert_allclose(result.output, act @ w2, atol=1e-8)
+        assert not compiled.choice.is_dense_fallback
+
+    def test_padding_sparsity_pipeline(self):
+        """Sequence padding: zero rows vanish from the computation."""
+        rng = np.random.default_rng(1)
+        lengths = [50, 120, 8, 77]
+        max_len, d = 128, 64
+        from repro.core import SeqLenPolicy
+
+        token_mask = SeqLenPolicy.token_mask(lengths, max_len)
+        x = rng.standard_normal((len(lengths) * max_len, d)) * token_mask[:, None]
+        w = rng.standard_normal((d, d))
+        mask2d = np.repeat(token_mask[:, None], d, axis=1)
+
+        compiler = PITCompiler(V100)
+        compiled = compiler.compile_matmul(
+            [mask2d], len(lengths) * max_len, d, d
+        )
+        result = compiled.run(x, w, mask=mask2d)
+        np.testing.assert_allclose(result.output, x @ w, atol=1e-8)
+
+    def test_repeated_batches_recompile_free(self):
+        """The kernel is reused across batches with fresh patterns; only
+        the online index changes (Figure 20's lesson applied)."""
+        compiler = PITCompiler(V100)
+        shape = (512, 512)
+        first = granular_mask(shape, (8, 1), 0.97, seed=0)
+        compiled = compiler.compile_matmul([first], 512, 512, 512)
+        rng = np.random.default_rng(2)
+        for seed in range(3):
+            mask = granular_mask(shape, (8, 1), 0.97, seed=seed + 10)
+            a = rng.standard_normal(shape) * mask
+            b = rng.standard_normal((512, 256))
+            out = compiled.run(a, b[:, :512] if False else b, mask=mask)
+            np.testing.assert_allclose(out.output, a @ b, atol=1e-8)
+        assert compiler.cache_size() == 1  # one compiled kernel served all
+
+
+class TestMultiDevice:
+    def test_tensor_parallel_shards_weights(self):
+        wl = opt_inference_workload("1.3b", 8, seed=0)
+        single = run_transformer(wl, PITBackend(A100), devices=1)
+        sharded = run_transformer(wl, PITBackend(A100), devices=8)
+        assert sharded.peak_mem_gib < single.peak_mem_gib
+        assert sharded.latency_ms < single.latency_ms
+
+    def test_allreduce_cost_present(self):
+        wl = bert_workload("mnli", 8, seed=0)
+        rep = run_transformer(wl, PyTorchBackend(V100), devices=4)
+        assert rep.timeline.by_op().get("tp.allreduce", 0) > 0
+
+    def test_devices_validated(self):
+        wl = bert_workload("mnli", 8, seed=0)
+        with pytest.raises(ValueError):
+            run_transformer(wl, PyTorchBackend(V100), devices=0)
+
+
+class TestEngineDeterminism:
+    def test_same_seed_same_report(self):
+        a = run_transformer(switch_workload(64, 8, seed=3), PITBackend(A100))
+        b = run_transformer(switch_workload(64, 8, seed=3), PITBackend(A100))
+        assert a.latency_ms == pytest.approx(b.latency_ms)
+        assert a.peak_mem_gib == pytest.approx(b.peak_mem_gib)
+
+    def test_different_seed_different_lengths(self):
+        a = run_transformer(bert_workload("mnli", 8, seed=1), PITBackend(V100))
+        b = run_transformer(bert_workload("mnli", 8, seed=2), PITBackend(V100))
+        assert a.latency_ms != pytest.approx(b.latency_ms)
+
+
+class TestCoverProperties:
+    """Hypothesis invariants of the cover/selection machinery."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        density=st.floats(0.01, 0.9),
+        tm=st.sampled_from([8, 16, 32]),
+        tk=st.sampled_from([8, 16, 32]),
+    )
+    def test_sparse_workload_never_exceeds_dense(self, seed, density, tm, tk):
+        """CoverAlgo can only remove work, never add it."""
+        rng = np.random.default_rng(seed)
+        mask = rng.random((128, 128)) < density
+        tile = TileConfig(tm, tk, 32)
+        dense = dense_matmul_workload(128, 128, 64, tile)
+        for axis in ("m", "k"):
+            wl = matmul_workload(mask, tile, axis, 64)
+            assert wl.total_k_steps <= dense.total_k_steps
+            assert wl.num_output_tiles <= dense.num_output_tiles
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 10_000), density=st.floats(0.005, 0.3))
+    def test_selection_estimate_bounded_by_dense(self, seed, density, tiledb):
+        """Algorithm 1 (with fallback) never chooses worse than dense."""
+        rng = np.random.default_rng(seed)
+        mask = rng.random((256, 256)) < density
+        choice = kernel_selection([mask], 256, 256, 256, tiledb)
+        from repro.core import dense_matmul_workload as dmw
+        from repro.hw import sparse_matmul_time_us
+
+        entry = tiledb.best_dense_tile(256, 256, 256)
+        dwl = dmw(256, 256, 256, entry.tile)
+        dense_cost = sparse_matmul_time_us(
+            dwl.total_k_steps, dwl.num_output_tiles, entry.tile,
+            "float32", V100,
+        )
+        assert choice.est_cost_us <= dense_cost * 1.0001
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_cover_cache_matches_direct(self, seed):
+        rng = np.random.default_rng(seed)
+        mask = rng.random((96, 96)) < 0.2
+        tile = TileConfig(16, 16, 16)
+        cache = CoverCache(mask)
+        for axis in ("m", "k"):
+            assert matmul_workload(cache, tile, axis, 64) == matmul_workload(
+                mask, tile, axis, 64
+            )
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        sparsity=st.floats(0.5, 0.99),
+    )
+    def test_covered_sparsity_decreases_with_microtile_size(self, seed, sparsity):
+        """Bigger covers can only look denser (fewer all-zero cells)."""
+        from repro.core import covered_sparsity
+
+        mask = granular_mask((256, 256), (2, 1), sparsity, seed=seed)
+        small = covered_sparsity(mask, (4, 1))
+        large = covered_sparsity(mask, (32, 1))
+        assert large <= small + 1e-12

@@ -1,0 +1,229 @@
+"""Tests for the model zoo, functional references, and the runtime engine."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    DeepSpeedBackend,
+    PITBackend,
+    PyTorchBackend,
+    TurboTransformerBackend,
+    TutelBackend,
+)
+from repro.hw import A100, V100
+from repro.models import (
+    LayerWeights,
+    TABLE2,
+    bert_base,
+    bert_workload,
+    longformer,
+    longformer_workload,
+    moe_layer_grouped,
+    moe_layer_reference,
+    museformer_workload,
+    opt,
+    opt_inference_workload,
+    padded_batch_forward,
+    swin_moe_workload,
+    switch_transformer,
+    switch_workload,
+    varlen_forward,
+)
+from repro.runtime import (
+    format_speedups,
+    format_table,
+    run_lineup,
+    run_transformer,
+    sparse_training_step,
+    speedup_table,
+)
+
+
+class TestConfigs:
+    def test_bert_base_shape(self):
+        cfg = bert_base()
+        assert (cfg.n_layers, cfg.d_model, cfg.heads, cfg.d_ff) == (12, 768, 12, 3072)
+        assert cfg.head_dim == 64
+
+    def test_opt_sizes(self):
+        assert opt("13b").d_model == 5120
+        assert opt("30b").n_layers == 48
+        assert opt("125m").activation == "relu"
+        with pytest.raises(KeyError):
+            opt("7b")
+
+    def test_switch_moe_layers(self):
+        cfg = switch_transformer(64)
+        assert cfg.num_moe_layers() == 12  # every other layer of 24
+        assert cfg.moe.num_experts == 64
+
+    def test_param_count_scales_with_experts(self):
+        assert switch_transformer(128).param_count() > switch_transformer(
+            64
+        ).param_count()
+
+    def test_longformer_attention_spec(self):
+        assert longformer("base").attention.kind == "longformer"
+        with pytest.raises(KeyError):
+            longformer("xl")
+
+    def test_table2_covers_all_models(self):
+        assert len(TABLE2) == 6
+
+
+class TestFunctionalEquivalence:
+    """Model-level permutation-invariance: PIT-style execution == padded."""
+
+    def test_varlen_equals_padded(self):
+        rng = np.random.default_rng(0)
+        d_model, d_ff, heads = 32, 64, 4
+        w = LayerWeights.random(d_model, d_ff, seed=1)
+        seqs = [rng.standard_normal((s, d_model)) for s in (5, 9, 3, 12)]
+        padded = padded_batch_forward(seqs, w, heads)
+        varlen = varlen_forward(seqs, w, heads, seed=7)
+        for p, v in zip(padded, varlen):
+            np.testing.assert_allclose(p, v, atol=1e-8)
+
+    def test_varlen_equals_padded_causal_relu(self):
+        rng = np.random.default_rng(1)
+        w = LayerWeights.random(16, 32, seed=2)
+        seqs = [rng.standard_normal((s, 16)) for s in (4, 7)]
+        padded = padded_batch_forward(seqs, w, 2, activation="relu", causal=True)
+        varlen = varlen_forward(seqs, w, 2, activation="relu", causal=True)
+        for p, v in zip(padded, varlen):
+            np.testing.assert_allclose(p, v, atol=1e-8)
+
+    def test_moe_grouped_equals_reference(self):
+        rng = np.random.default_rng(2)
+        tokens = rng.standard_normal((40, 8))
+        w1 = rng.standard_normal((4, 8, 16))
+        w2 = rng.standard_normal((4, 16, 8))
+        assignment = rng.integers(0, 4, size=40)
+        ref = moe_layer_reference(tokens, w1, w2, assignment)
+        grouped = moe_layer_grouped(tokens, w1, w2, assignment, seed=11)
+        np.testing.assert_allclose(ref, grouped, atol=1e-10)
+
+
+class TestWorkloads:
+    def test_bert_workload_lengths(self):
+        wl = bert_workload("mnli", 32, seed=0)
+        assert wl.batch_size == 32
+        assert wl.max_len <= wl.config.max_seq
+
+    def test_switch_workload_has_routing(self):
+        wl = switch_workload(64, 8, seed=0)
+        assert len(wl.routing_by_layer) == 12
+        routing = wl.routing_for(1)
+        padded = wl.batch_size * wl.max_len
+        assert routing is not None and routing.counts.sum() == padded
+        assert wl.routing_for(0) is None
+
+    def test_opt_workload_act_sparsity(self):
+        wl = opt_inference_workload("125m", 8, act_sparsity=0.99, seed=0)
+        assert wl.act_sparsity == 0.99
+        assert wl.config.causal
+
+    def test_longformer_workload_stats(self):
+        wl = longformer_workload("base", 2048, seed=0)
+        assert wl.attn_stats.seq == 2048
+        assert 0 < wl.attn_stats.density < 0.6
+
+    def test_swin_fixed_lengths(self):
+        wl = swin_moe_workload(8, 16, seed=0)
+        assert (wl.lengths == 196).all()
+
+    def test_museformer_workload(self):
+        wl = museformer_workload(1024, seed=0)
+        assert wl.attn_stats.seq == 1024
+
+
+class TestEngine:
+    def test_inference_report_fields(self):
+        wl = bert_workload("sst2", 8, seed=0)
+        rep = run_transformer(wl, PITBackend(V100))
+        assert rep.ok and rep.latency_ms > 0
+        assert rep.peak_mem_gib > 0
+        assert rep.convert_ms < rep.latency_ms
+
+    def test_pit_beats_pytorch_on_bert(self):
+        wl = bert_workload("mnli", 32, seed=0)
+        pt = run_transformer(wl, PyTorchBackend(V100))
+        pit = run_transformer(wl, PITBackend(V100))
+        assert pit.latency_ms < pt.latency_ms
+
+    def test_training_costs_more_than_inference(self):
+        wl = bert_workload("mnli", 8, seed=0)
+        b = PyTorchBackend(V100)
+        inf = run_transformer(wl, b, mode="inference")
+        train = run_transformer(wl, b, mode="training")
+        assert train.latency_ms > 2 * inf.latency_ms
+        assert train.peak_mem_gib > inf.peak_mem_gib
+
+    def test_tutel_oom_at_many_experts(self):
+        """Figure 8: Tutel runs out of memory at large expert counts."""
+        wl = switch_workload(256, 32, seed=0)
+        rep = run_transformer(wl, TutelBackend(A100, "float32"))
+        assert rep.oom
+
+    def test_turbo_unsupported_on_switch(self):
+        wl = switch_workload(64, 8, seed=0)
+        rep = run_transformer(wl, TurboTransformerBackend(A100))
+        assert rep.unsupported
+
+    def test_speedup_table(self):
+        wl = bert_workload("cola", 8, seed=0)
+        reports = [
+            run_transformer(wl, PyTorchBackend(V100)),
+            run_transformer(wl, PITBackend(V100)),
+        ]
+        table = speedup_table(reports)
+        assert table["PyTorch"] > 1.0
+
+    def test_run_lineup_handles_unsupported_dtype(self):
+        wl = switch_workload(64, 8, seed=0)
+        reports = run_lineup(wl, ["MegaBlocks", "PIT"], A100, "float32")
+        by_name = {r.backend: r for r in reports}
+        assert by_name["MegaBlocks"].unsupported
+        assert by_name["PIT"].ok
+
+    def test_bad_mode_rejected(self):
+        wl = bert_workload("cola", 4, seed=0)
+        with pytest.raises(ValueError):
+            run_transformer(wl, PyTorchBackend(V100), mode="eval")
+
+
+class TestSparseTraining:
+    def test_pit_fastest_at_fine_granularity(self):
+        """Figure 15's 32x1 panel: PIT > PyTorch > PyTorch-S."""
+        kwargs = dict(block=(32, 1), sparsity=0.9, batch_tokens=1024, seed=0)
+        pit = sparse_training_step("pit", V100, **kwargs)
+        pt = sparse_training_step("pytorch", V100, **kwargs)
+        pts = sparse_training_step("pytorch-s", V100, **kwargs)
+        assert pit.latency_ms < pt.latency_ms < pts.latency_ms
+
+    def test_pytorch_s_convert_heavy(self):
+        r = sparse_training_step(
+            "pytorch-s", V100, block=(32, 64), sparsity=0.9, batch_tokens=1024
+        )
+        assert r.convert_ms > 0.2 * r.latency_ms
+
+    def test_pit_memory_drops_with_sparsity(self):
+        lo = sparse_training_step("pit", V100, block=(32, 1), sparsity=0.5)
+        hi = sparse_training_step("pit", V100, block=(32, 1), sparsity=0.98)
+        assert hi.mem_gib < lo.mem_gib
+
+    def test_unknown_backend(self):
+        with pytest.raises(ValueError):
+            sparse_training_step("jax", V100)
+
+
+class TestReportFormatting:
+    def test_format_table(self):
+        out = format_table(
+            ["name", "ms"], [["PIT", 1.5], ["PyTorch", 12.0]], title="t"
+        )
+        assert "PIT" in out and "12.0" in out and out.startswith("t")
+
+    def test_format_speedups(self):
+        out = format_speedups({"PyTorch": 3.5, "Tutel": 10.0})
+        assert out.splitlines()[0].endswith("Tutel")

@@ -1,0 +1,151 @@
+"""Tests for the mini tensor framework: SimTensor, layouts, sparse formats."""
+
+import numpy as np
+import pytest
+
+from repro.hw import V100
+from repro.tensor import (
+    Layout,
+    SimTensor,
+    bcsr_spmm,
+    csr_spmm,
+    dense_to_bcsr,
+    dense_to_coo,
+    dense_to_csr,
+    from_mask,
+    needs_transpose,
+    randn,
+)
+
+
+class TestLayout:
+    def test_contiguous_axis(self):
+        assert Layout.ROW_MAJOR.contiguous_axis == 1
+        assert Layout.COL_MAJOR.contiguous_axis == 0
+
+    def test_transposed(self):
+        assert Layout.ROW_MAJOR.transposed() is Layout.COL_MAJOR
+
+    def test_needs_transpose(self):
+        # Row-major + PIT-axis 0 (rows): micro-tiles are row slices, already
+        # contiguous runs -> no flip.  PIT-axis 1 needs the flip.
+        assert not needs_transpose(Layout.ROW_MAJOR, 0)
+        assert needs_transpose(Layout.ROW_MAJOR, 1)
+        assert needs_transpose(Layout.COL_MAJOR, 0)
+
+    def test_rejects_bad_axis(self):
+        with pytest.raises(ValueError):
+            needs_transpose(Layout.ROW_MAJOR, 2)
+
+
+class TestSimTensor:
+    def test_logical_dtype_bytes(self):
+        t = SimTensor(np.zeros((4, 4)), dtype="float16")
+        assert t.nbytes == 4 * 4 * 2  # logical fp16, despite fp32 storage
+
+    def test_sparsity_ratio_from_values(self):
+        data = np.zeros((10, 10))
+        data[0, 0] = 1.0
+        assert SimTensor(data).sparsity_ratio() == pytest.approx(0.99)
+
+    def test_explicit_mask_wins(self):
+        data = np.ones((4, 4))
+        mask = np.zeros((4, 4), dtype=bool)
+        mask[0] = True
+        t = SimTensor(data, mask=mask)
+        assert t.sparsity_ratio() == pytest.approx(0.75)
+        assert t.masked_data().sum() == pytest.approx(4.0)
+
+    def test_mask_shape_checked(self):
+        with pytest.raises(ValueError):
+            SimTensor(np.ones((4, 4)), mask=np.ones((2, 2), dtype=bool))
+
+    def test_bad_dtype_rejected(self):
+        with pytest.raises(ValueError):
+            SimTensor(np.ones(3), dtype="complex128")
+
+    def test_randn_seeded(self):
+        assert np.array_equal(randn((3, 3), seed=7).data, randn((3, 3), seed=7).data)
+
+    def test_from_mask(self):
+        mask = np.eye(8, dtype=bool)
+        t = from_mask(mask, seed=1)
+        assert np.array_equal(t.nonzero_mask(), mask) or (
+            (t.data[~mask] == 0).all()
+        )
+
+
+class TestCSR:
+    def test_roundtrip(self):
+        rng = np.random.default_rng(0)
+        dense = rng.standard_normal((64, 48)) * (rng.random((64, 48)) < 0.1)
+        csr = dense_to_csr(dense, "float32", V100)
+        assert np.array_equal(csr.to_dense(), dense)
+        assert csr.nnz == np.count_nonzero(dense)
+
+    def test_spmm_matches_dense(self):
+        rng = np.random.default_rng(1)
+        dense = rng.standard_normal((32, 40)) * (rng.random((32, 40)) < 0.2)
+        rhs = rng.standard_normal((40, 24))
+        csr = dense_to_csr(dense, "float32", V100)
+        np.testing.assert_allclose(csr_spmm(csr, rhs), dense @ rhs, atol=1e-10)
+
+    def test_spmm_shape_check(self):
+        csr = dense_to_csr(np.eye(4), "float32", V100)
+        with pytest.raises(ValueError):
+            csr_spmm(csr, np.ones((5, 3)))
+
+    def test_conversion_cost_scales_with_size(self):
+        small = dense_to_csr(np.eye(256), "float32", V100).convert_us
+        large = dense_to_csr(np.eye(1024), "float32", V100).convert_us
+        assert large > small
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValueError):
+            dense_to_csr(np.zeros((2, 2, 2)), "float32", V100)
+
+
+class TestBCSR:
+    def test_roundtrip_exact_blocks(self):
+        rng = np.random.default_rng(2)
+        dense = np.zeros((64, 64))
+        dense[0:32, 32:64] = rng.standard_normal((32, 32))
+        bcsr = dense_to_bcsr(dense, (32, 32), "float32", V100)
+        assert bcsr.num_blocks == 1
+        assert np.array_equal(bcsr.to_dense(), dense)
+
+    def test_partial_blocks_padded(self):
+        dense = np.zeros((48, 48))
+        dense[47, 47] = 5.0
+        bcsr = dense_to_bcsr(dense, (32, 32), "float32", V100)
+        assert np.array_equal(bcsr.to_dense(), dense)
+
+    def test_coverage_waste_of_fine_sparsity(self):
+        """One non-zero strip of 1x32 forces a whole 32x32 block: 96.9% waste."""
+        dense = np.zeros((64, 64))
+        dense[0, 0:32] = 1.0
+        bcsr = dense_to_bcsr(dense, (32, 32), "float32", V100)
+        assert bcsr.coverage_waste(nnz=32) == pytest.approx(1 - 32 / 1024)
+
+    def test_spmm_matches_dense(self):
+        rng = np.random.default_rng(3)
+        dense = rng.standard_normal((64, 96)) * (rng.random((64, 96)) < 0.15)
+        rhs = rng.standard_normal((96, 33))
+        bcsr = dense_to_bcsr(dense, (32, 32), "float32", V100)
+        np.testing.assert_allclose(bcsr_spmm(bcsr, rhs), dense @ rhs, atol=1e-10)
+
+    def test_triton_conversion_slower_than_cusparse(self):
+        """Figure 18's premise: block-layout builds cost more than CSR."""
+        rng = np.random.default_rng(4)
+        dense = rng.standard_normal((1024, 1024)) * (rng.random((1024, 1024)) < 0.05)
+        csr = dense_to_csr(dense, "float32", V100)
+        bcsr = dense_to_bcsr(dense, (32, 32), "float32", V100)
+        assert bcsr.convert_us > csr.convert_us
+
+
+class TestCOO:
+    def test_roundtrip(self):
+        rng = np.random.default_rng(5)
+        dense = rng.standard_normal((16, 16)) * (rng.random((16, 16)) < 0.3)
+        coo = dense_to_coo(dense, "float32", V100)
+        assert np.array_equal(coo.to_dense(), dense)
