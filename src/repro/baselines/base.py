@@ -20,16 +20,13 @@ from ..core.tiledb import TileDB
 from ..hw.costmodel import dense_matmul_time_us
 from ..hw.spec import GPUSpec
 
-#: TileDBs are shared across baselines — profiling is per (device, dtype).
-_TILEDB_CACHE: dict = {}
-
-
 def shared_tiledb(spec: GPUSpec, dtype: str, *, tensor_core: bool = False) -> TileDB:
-    """A cached TileDB for (device, dtype) — offline profiling happens once."""
-    key = (spec.name, dtype, tensor_core)
-    if key not in _TILEDB_CACHE:
-        _TILEDB_CACHE[key] = TileDB(spec, dtype, tensor_core=tensor_core)
-    return _TILEDB_CACHE[key]
+    """A cached TileDB for (device, dtype) — offline profiling happens once.
+
+    Delegates to :meth:`TileDB.shared`, so baselines, the compiler and the
+    serving engine all hold the *same* instance per configuration.
+    """
+    return TileDB.shared(spec, dtype, tensor_core=tensor_core)
 
 
 @dataclass(frozen=True)

@@ -45,9 +45,13 @@ class PITBackend(ModelBackend):
     #: movement, saving most of the separate-launch overheads.
     FUSION_LAUNCH_SAVING = 0.6
 
-    def __init__(self, spec, dtype: str = "float32"):
+    def __init__(self, spec, dtype: str = "float32", *, plan_cache=None):
         super().__init__(spec, dtype)
         #: Cached activation-sparsity workloads keyed by (tokens, d_ff, pct).
+        #: When a shared :class:`~repro.core.selection.PlanCache` is supplied
+        #: (the serving engine constructs one backend per batch), the memo
+        #: lives there instead and survives across backend instances.
+        self.plan_cache = plan_cache
         self._act_cache: dict = {}
         #: Sparse-structure kinds already detected this run: the token mask
         #: and the attention mask are each detected *once per batch* and the
@@ -122,15 +126,24 @@ class PITBackend(ModelBackend):
         over a ReLU activation mask.  Sampled once per configuration — the
         cover fraction concentrates tightly for i.i.d.-ish masks."""
         key = (min(tokens, 2048), d_ff, round(sparsity, 4))
-        if key not in self._act_cache:
+        memo = self._act_cache
+        if self.plan_cache is not None:
+            plan_key = ("act-cover", self.dtype, self.MICRO_W) + key
+            shared = self.plan_cache.get(plan_key)
+            if shared is not None:
+                covered, micro_per_row = shared
+                return covered, int(micro_per_row * tokens)
+        if key not in memo:
             sample_rows = key[0]
             mask = relu_activation_mask(sample_rows, d_ff, sparsity, seed=seed)
             cache = CoverCache(mask)
             grid = cache.grid((1, self.MICRO_W))
             covered = float(grid.sum()) / max(1, grid.size)
             micro_per_row = grid.sum() / max(1, sample_rows)
-            self._act_cache[key] = (covered, micro_per_row)
-        covered, micro_per_row = self._act_cache[key]
+            memo[key] = (covered, micro_per_row)
+            if self.plan_cache is not None:
+                self.plan_cache.put(plan_key, memo[key])
+        covered, micro_per_row = memo[key]
         return covered, int(micro_per_row * tokens)
 
     def ffn(

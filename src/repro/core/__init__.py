@@ -29,6 +29,7 @@ from .kernels import (
     GroupedMatmulKernel,
     KernelResult,
     SparseMatmulKernel,
+    kernel_from_choice,
 )
 from .microtile import (
     MicroTile,
@@ -63,7 +64,14 @@ from .rules import (
     matmul_axes_for_operand,
     matmul_rules,
 )
-from .selection import KernelChoice, kernel_selection
+from .selection import (
+    SIGNATURE_QUANTUM,
+    KernelChoice,
+    PlanCache,
+    cached_kernel_selection,
+    kernel_selection,
+    sparsity_signature,
+)
 from .sread_swrite import (
     gather_microtiles,
     scatter_microtiles,
@@ -96,9 +104,11 @@ __all__ = [
     "PITRule",
     "PagedAttentionPolicy",
     "ParseError",
+    "PlanCache",
     "PolicyDecision",
     "ReduceOp",
     "RowIndex",
+    "SIGNATURE_QUANTUM",
     "SeqLenPolicy",
     "SparseIndex",
     "SparseMatmulKernel",
@@ -109,6 +119,7 @@ __all__ = [
     "TileEntry",
     "batch_matmul_multi_axis_rules",
     "build_index",
+    "cached_kernel_selection",
     "build_row_index",
     "classify_axes",
     "count_covering_microtiles",
@@ -121,6 +132,7 @@ __all__ = [
     "get_operator_expr",
     "index_construction_time_us",
     "is_pit_axis",
+    "kernel_from_choice",
     "kernel_selection",
     "matmul_axes_for_operand",
     "matmul_microtiled_op",
@@ -130,6 +142,7 @@ __all__ = [
     "parse_expr",
     "pit_axes",
     "scatter_microtiles",
+    "sparsity_signature",
     "sread_cols",
     "sread_load_efficiency",
     "sread_rows",

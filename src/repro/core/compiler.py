@@ -22,8 +22,18 @@ from typing import Optional
 import numpy as np
 
 from ..hw.spec import GPUSpec
-from .kernels import DenseMatmulKernel, KernelResult, SparseMatmulKernel
-from .selection import KernelChoice, kernel_selection
+from .kernels import (
+    DenseMatmulKernel,
+    KernelResult,
+    SparseMatmulKernel,
+    kernel_from_choice,
+)
+from .selection import (
+    KernelChoice,
+    PlanCache,
+    cached_kernel_selection,
+    kernel_selection,
+)
 from .tiledb import TileDB
 
 
@@ -63,13 +73,18 @@ class PITCompiler:
         *,
         tensor_core: bool = False,
         max_tiles: int = 24,
+        plan_cache: Optional[PlanCache] = None,
     ):
         self.spec = spec
         self.dtype = dtype
         self.tensor_core = tensor_core
-        self.tiledb = TileDB(
+        self.tiledb = TileDB.shared(
             spec, dtype, tensor_core=tensor_core, max_tiles=max_tiles
         )
+        #: Optional shared memo of Algorithm 1 outcomes: when set, selection
+        #: is keyed on the quantized sparsity signature so statistically
+        #: alike sample sets skip the search entirely.
+        self.plan_cache = plan_cache
         self._cache: dict = {}
 
     def compile_matmul(
@@ -91,22 +106,23 @@ class PITCompiler:
         if use_cache and cache_key in self._cache:
             return self._cache[cache_key]
 
-        choice = kernel_selection(
-            sparsity_samples, m, k, n, self.tiledb, sparse_operand=sparse_operand
-        )
-        if choice.is_dense_fallback:
-            kernel: object = DenseMatmulKernel(
-                choice.tile, self.spec, self.dtype, tensor_core=self.tensor_core
+        if self.plan_cache is not None:
+            choice = cached_kernel_selection(
+                sparsity_samples, m, k, n, self.tiledb,
+                sparse_operand=sparse_operand, cache=self.plan_cache,
             )
         else:
-            kernel = SparseMatmulKernel(
-                choice.tile,
-                choice.pit_axis,
-                self.spec,
-                self.dtype,
+            choice = kernel_selection(
+                sparsity_samples, m, k, n, self.tiledb,
                 sparse_operand=sparse_operand,
-                tensor_core=self.tensor_core,
             )
+        kernel = kernel_from_choice(
+            choice,
+            self.spec,
+            self.dtype,
+            sparse_operand=sparse_operand,
+            tensor_core=self.tensor_core,
+        )
         compiled = CompiledMatmul(
             m=m, k=k, n=n, choice=choice, kernel=kernel, sparse_operand=sparse_operand
         )

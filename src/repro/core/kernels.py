@@ -69,6 +69,35 @@ class DenseMatmulKernel:
         return KernelResult(output=out, report=report)
 
 
+def kernel_from_choice(
+    choice,
+    spec: GPUSpec,
+    dtype: str = "float32",
+    *,
+    sparse_operand: str = "A",
+    tensor_core: bool = False,
+):
+    """Instantiate the kernel a :class:`~repro.core.selection.KernelChoice`
+    names: the dense fallback or the sparse kernel for the winning rule.
+
+    This is the bridge between cached plans and executable kernels — the
+    compiler and the serving engine both realize memoized Algorithm 1
+    outcomes through it.
+    """
+    if choice.is_dense_fallback:
+        return DenseMatmulKernel(
+            choice.tile, spec, dtype, tensor_core=tensor_core
+        )
+    return SparseMatmulKernel(
+        choice.tile,
+        choice.pit_axis,
+        spec,
+        dtype,
+        sparse_operand=sparse_operand,
+        tensor_core=tensor_core,
+    )
+
+
 class SparseMatmulKernel:
     """A PIT sparse matmul kernel for one (PIT-axis, tile) rule.
 

@@ -15,6 +15,7 @@ avoiding redundant passes over the samples.
 from __future__ import annotations
 
 import time
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Optional
 
@@ -131,9 +132,19 @@ def kernel_selection(
             best_cost = cost
             best_cov = cov
 
-    choice_axis = best.pit_axis
-    choice_micro = best.microtile
-    choice_tile = best.tile
+    if best is None and not include_dense_fallback:
+        raise ValueError(
+            f"no feasible PIT rule for sparse operand {sparse_operand!r} "
+            f"(the tile database yielded no candidates) and the dense "
+            f"fallback is disabled"
+        )
+
+    if best is None:
+        choice_axis, choice_micro, choice_tile = None, None, None
+    else:
+        choice_axis = best.pit_axis
+        choice_micro = best.microtile
+        choice_tile = best.tile
 
     if include_dense_fallback:
         # The dense candidate is priced with the same wave-quantized formula
@@ -164,3 +175,155 @@ def kernel_selection(
         covered_sparsity=best_cov,
         search_time_us=elapsed_us,
     )
+
+
+#: Default width of one sparsity-signature quantization bucket.  Masks whose
+#: density statistics agree to within one bucket share a cached plan: the
+#: selection landscape is flat at that resolution (neighbouring candidates'
+#: costs differ by far more than a few percent of density), while patterns
+#: that drift past it genuinely can flip the winning rule.
+SIGNATURE_QUANTUM = 0.05
+
+
+def sparsity_signature(sparsity_samples, *, quantum: float = SIGNATURE_QUANTUM):
+    """Quantized sparsity signature of a sample set (a hashable tuple).
+
+    Captures the three statistics Algorithm 1's outcome actually depends on:
+    overall density, live-row fraction and live-column fraction (the latter
+    two discriminate m-axis from k-axis granularity).  Each is quantized to
+    ``quantum``-wide buckets so that invocation-to-invocation noise in a
+    dynamic pattern maps to the same signature — the key property the
+    :class:`PlanCache` needs (Figure 20: exact patterns almost never repeat,
+    but their *statistics* are stable).
+    """
+    if quantum <= 0:
+        raise ValueError("quantum must be positive")
+    samples = [np.asarray(s, dtype=bool) for s in sparsity_samples]
+    if not samples:
+        raise ValueError("sparsity signature needs at least one sample")
+    density = float(np.mean([s.mean() for s in samples]))
+    row_live = float(np.mean([s.any(axis=1).mean() for s in samples]))
+    col_live = float(np.mean([s.any(axis=0).mean() for s in samples]))
+    q = 1.0 / quantum
+    return (
+        int(round(density * q)),
+        int(round(row_live * q)),
+        int(round(col_live * q)),
+    )
+
+
+class PlanCache:
+    """LRU memo of kernel plans keyed by problem + quantized sparsity.
+
+    The deployed PIT keeps its online search at 30-100us by reusing cover
+    grids and pre-profiled tiles; a serving process goes one step further and
+    reuses the whole Algorithm 1 *outcome* across requests whose dynamic
+    patterns are statistically alike.  Entries are
+    ``(m, k, n, sparse_operand, signature, tiledb_key) -> KernelChoice``
+    (arbitrary plan objects are accepted — the PIT backend memoizes its
+    activation-cover workloads here too, so one cache serves one process).
+    """
+
+    def __init__(self, capacity: int = 256, *, quantum: float = SIGNATURE_QUANTUM):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.quantum = quantum
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._entries: OrderedDict = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key) -> bool:
+        return key in self._entries
+
+    def make_key(
+        self, m: int, k: int, n: int, sparse_operand: str, signature, tiledb_key
+    ):
+        return (m, k, n, sparse_operand, signature, tiledb_key)
+
+    def get(self, key):
+        """Look up a plan; counts a hit or a miss and refreshes recency."""
+        try:
+            value = self._entries[key]
+        except KeyError:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key, value) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        return {
+            "size": len(self._entries),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+def cached_kernel_selection(
+    sparsity_samples,
+    m: int,
+    k: int,
+    n: int,
+    tiledb: TileDB,
+    *,
+    sparse_operand: str = "A",
+    include_dense_fallback: bool = True,
+    cache: PlanCache,
+) -> KernelChoice:
+    """Algorithm 1 with plan memoization.
+
+    Computes the quantized signature of the samples and returns the cached
+    :class:`KernelChoice` when an equivalent problem was already selected for
+    (same shape, operand, signature and tile database); otherwise runs the
+    full search and stores the result.  A cache hit costs one dict lookup —
+    the amortization the serving engine's steady state rests on.
+    """
+    signature = sparsity_signature(sparsity_samples, quantum=cache.quantum)
+    # The fallback flag is part of the plan's identity: the same samples can
+    # legitimately yield a dense plan with the fallback and a PIT plan (or a
+    # ValueError) without it.
+    key = cache.make_key(
+        m,
+        k,
+        n,
+        sparse_operand,
+        (signature, include_dense_fallback),
+        getattr(tiledb, "cache_key", id(tiledb)),
+    )
+    choice = cache.get(key)
+    if choice is not None:
+        return choice
+    choice = kernel_selection(
+        sparsity_samples,
+        m,
+        k,
+        n,
+        tiledb,
+        sparse_operand=sparse_operand,
+        include_dense_fallback=include_dense_fallback,
+    )
+    cache.put(key, choice)
+    return choice

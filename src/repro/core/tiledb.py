@@ -41,6 +41,11 @@ class TileEntry:
         return steps * self.step_us + self.fixed_us
 
 
+#: Shared TileDB instances per (device, dtype, tensor_core, max_tiles) — see
+#: :meth:`TileDB.shared`.
+_INSTANCE_CACHE: dict = {}
+
+
 class TileDB:
     """Profiled dense-tile database for one (device, dtype) pair."""
 
@@ -55,6 +60,7 @@ class TileDB:
         self.spec = spec
         self.dtype = dtype
         self.tensor_core = tensor_core
+        self.max_tiles = max_tiles
         profiles = profile_matmul_tiles(spec, dtype, tensor_core=tensor_core)
         self._entries = [self._to_entry(p) for p in profiles[: max(1, max_tiles)]]
         if not self._entries:
@@ -62,6 +68,46 @@ class TileDB:
                 f"offline profiling produced no feasible tiles for "
                 f"{spec.name}/{dtype} (tensor_core={tensor_core})"
             )
+
+    @property
+    def cache_key(self) -> tuple:
+        """Hashable identity of this database's contents.
+
+        Two databases with equal keys were built from the same profiles, so
+        plans selected against one are valid against the other — this is the
+        ``tiledb_key`` component of :class:`~repro.core.selection.PlanCache`
+        keys.  The full (frozen, hashable) :class:`GPUSpec` participates, so
+        two same-named specs with different parameters never collide.
+        """
+        return (self.spec, self.dtype, self.tensor_core, self.max_tiles)
+
+    @classmethod
+    def shared(
+        cls,
+        spec: GPUSpec,
+        dtype: str = "float32",
+        *,
+        tensor_core: bool = False,
+        max_tiles: int = 24,
+    ) -> "TileDB":
+        """The process-wide instance for this configuration.
+
+        Offline profiling runs once per (device, dtype, tensor_core) — but
+        entry conversion and instance construction used to repeat for every
+        backend/compiler; a serving process builds backends per batch, so the
+        instances themselves are shared too.
+        """
+        key = (spec, dtype, tensor_core, max_tiles)
+        if key not in _INSTANCE_CACHE:
+            _INSTANCE_CACHE[key] = cls(
+                spec, dtype, tensor_core=tensor_core, max_tiles=max_tiles
+            )
+        return _INSTANCE_CACHE[key]
+
+    @staticmethod
+    def clear_shared() -> None:
+        """Drop the shared instances (tests that vary spec parameters)."""
+        _INSTANCE_CACHE.clear()
 
     def _to_entry(self, profile: TileProfile) -> TileEntry:
         tk = profile.tile.tk

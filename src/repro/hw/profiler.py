@@ -68,7 +68,9 @@ def profile_matmul_tiles(
     (best first).  Shapes whose shared-memory working set exceeds the device's
     per-SM shared memory are skipped, mirroring real occupancy limits.
     """
-    key = (spec.name, dtype, tm_candidates, tn_candidates, tk_candidates, tensor_core)
+    # The full frozen GPUSpec keys the cache: two same-named specs with
+    # different parameters must not share profiles.
+    key = (spec, dtype, tm_candidates, tn_candidates, tk_candidates, tensor_core)
     if key in _CACHE:
         return _CACHE[key]
 

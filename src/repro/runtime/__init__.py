@@ -1,4 +1,4 @@
-"""Runtime: the execution engine, sessions, training, and reporting."""
+"""Runtime: the execution engine, sessions, serving, training, reporting."""
 
 from .engine import (
     TRAINING_STATE_MULTIPLIER,
@@ -7,19 +7,39 @@ from .engine import (
     speedup_table,
 )
 from .report import format_speedups, format_table
-from .session import BACKENDS_BY_NAME, make_backend, run_lineup
+from .serving import (
+    BatchReport,
+    InferenceRequest,
+    RequestReport,
+    ServingEngine,
+    ServingReport,
+    merge_workloads,
+)
+from .session import (
+    BACKENDS_BY_NAME,
+    make_backend,
+    run_lineup,
+    validate_backend_kwargs,
+)
 from .training import SparseTrainingReport, sparse_training_step
 
 __all__ = [
     "BACKENDS_BY_NAME",
+    "BatchReport",
+    "InferenceRequest",
+    "RequestReport",
     "RunReport",
+    "ServingEngine",
+    "ServingReport",
     "SparseTrainingReport",
     "TRAINING_STATE_MULTIPLIER",
     "format_speedups",
     "format_table",
     "make_backend",
+    "merge_workloads",
     "run_lineup",
     "run_transformer",
     "sparse_training_step",
     "speedup_table",
+    "validate_backend_kwargs",
 ]

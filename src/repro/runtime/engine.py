@@ -152,13 +152,16 @@ def run_transformer(
             reports += backend.pointwise(lengths, d)
             if devices > 1:
                 # Tensor parallelism: compute divides across devices; two
-                # allreduces per layer move the token activations around
-                # the ring (2x the payload bytes each).
+                # allreduces per layer move the token activations around the
+                # ring.  A ring allreduce sends 2*(devices-1)/devices of the
+                # payload per link (reduce-scatter + all-gather), so wider
+                # rings cost strictly more per allreduce.
                 for r in reports:
                     r.latency_us /= devices
                     r.convert_us /= devices
                 comm_bytes = tokens * d * dsize
-                comm_us = 2 * (2.0 * comm_bytes / (NVLINK_GBS * 1e3))
+                ring_factor = 2.0 * (devices - 1) / devices
+                comm_us = 2 * (ring_factor * comm_bytes / (NVLINK_GBS * 1e3))
                 reports.append(
                     ExecReport(op="tp.allreduce", latency_us=comm_us)
                 )

@@ -1,0 +1,472 @@
+"""The serving layer: concurrent variable-shape requests, batched + cached.
+
+The paper's premise is that dynamic sparsity must be handled *online*: the
+deployed PIT keeps kernel selection at 30-100us by reusing cover grids and
+pre-profiled tiles (Sections 3.2, 5.5).  A serving process goes one step
+further — requests arrive continuously and their dynamic patterns are
+statistically alike, so the whole Algorithm 1 outcome is reusable across
+requests via the :class:`~repro.core.selection.PlanCache`.
+
+The :class:`ServingEngine` accepts :class:`InferenceRequest`\\ s (a workload
+plus an arrival time), groups compatible requests into dynamic batches with
+token-budget bucketing over the variable sequence lengths (the Figure 11/12
+workloads), executes each batch through :func:`~repro.runtime.engine.
+run_transformer`, and reports per-request queueing delay and latency plus
+aggregate throughput.  Two clocks coexist deliberately:
+
+* **execution time** is the analytical device model's simulated latency;
+* **selection overhead** is *real* wall time spent in (cached) Algorithm 1 —
+  the quantity Section 5.5 measures at 30-100us per search.  Steady-state
+  requests hit the plan cache and pay a dictionary lookup instead.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..core.selection import PlanCache, kernel_selection
+from ..core.tiledb import TileDB
+from ..hw.spec import GPUSpec
+from ..models.workloads import Workload
+from ..sparsity.activation import relu_activation_mask
+from .engine import RunReport, run_transformer
+from .session import make_backend
+
+
+@dataclass(frozen=True)
+class InferenceRequest:
+    """One queued inference call: a workload and when it arrived."""
+
+    request_id: int
+    workload: Workload
+    #: Arrival time on the engine's simulated clock (microseconds).
+    arrival_us: float = 0.0
+
+    @property
+    def tokens(self) -> int:
+        return self.workload.total_tokens
+
+    @property
+    def max_len(self) -> int:
+        return self.workload.max_len
+
+    def batch_signature(self) -> tuple:
+        """Requests sharing a signature may execute in one batch.
+
+        Compatible means: same model architecture, same activation-sparsity
+        regime, and attention masks of the same shape whose density agrees
+        to within one quantization bucket (a merged batch is priced with its
+        first member's stats, so members must be statistically alike — the
+        same tolerance the plan cache uses).  MoE workloads never co-batch:
+        their routing tables were drawn for one batch and do not concatenate
+        meaningfully.
+        """
+        from ..core.selection import SIGNATURE_QUANTUM
+
+        cfg = self.workload.config
+        stats = self.workload.attn_stats
+        attn_key = None
+        if stats is not None:
+            attn_key = (
+                stats.seq,
+                int(round(stats.density / SIGNATURE_QUANTUM)),
+                stats.micro_w,
+                stats.block,
+            )
+        if self.workload.routing_by_layer:
+            return (cfg.name, "moe", self.request_id)
+        return (cfg.name, self.workload.act_sparsity, attn_key)
+
+
+def merge_workloads(workloads) -> Workload:
+    """Concatenate compatible workloads' sequences into one batch."""
+    workloads = list(workloads)
+    if not workloads:
+        raise ValueError("cannot merge zero workloads")
+    base = workloads[0]
+    if len(workloads) == 1:
+        return base
+    lengths = np.concatenate([np.asarray(w.lengths) for w in workloads])
+    return Workload(
+        config=base.config,
+        lengths=lengths,
+        act_sparsity=base.act_sparsity,
+        attn_stats=base.attn_stats,
+        seed=base.seed,
+    )
+
+
+@dataclass
+class RequestReport:
+    """Per-request outcome: where its time went."""
+
+    request_id: int
+    batch_id: int
+    tokens: int
+    arrival_us: float
+    start_us: float
+    #: Time spent waiting for the batch to form and the device to free up.
+    queue_us: float
+    #: Wall time of the batch this request rode in (shared, not divided).
+    exec_us: float
+    #: This request's amortized share of the batch's plan-selection time.
+    selection_us: float
+    ok: bool = True
+    error: Optional[str] = None
+
+    @property
+    def latency_us(self) -> float:
+        """End-to-end: arrival to batch completion."""
+        return self.queue_us + self.exec_us
+
+
+@dataclass
+class BatchReport:
+    """One executed dynamic batch."""
+
+    batch_id: int
+    request_ids: list
+    tokens: int
+    padded_tokens: int
+    start_us: float
+    exec_us: float
+    selection_us: float
+    cache_hits: int
+    cache_misses: int
+    run: RunReport
+
+    @property
+    def size(self) -> int:
+        return len(self.request_ids)
+
+
+@dataclass
+class ServingReport:
+    """Aggregate outcome of one queue drain."""
+
+    requests: list = field(default_factory=list)
+    batches: list = field(default_factory=list)
+    plan_cache_stats: dict = field(default_factory=dict)
+    #: Simulated time from first batch start to last batch completion.
+    makespan_us: float = 0.0
+
+    @property
+    def total_tokens(self) -> int:
+        return sum(r.tokens for r in self.requests)
+
+    @property
+    def completed_tokens(self) -> int:
+        """Tokens of successfully served requests — failed (OOM/unsupported)
+        batches do not count toward throughput."""
+        return sum(r.tokens for r in self.requests if r.ok)
+
+    @property
+    def failed_requests(self) -> int:
+        return sum(1 for r in self.requests if not r.ok)
+
+    @property
+    def throughput_tokens_per_s(self) -> float:
+        if self.makespan_us <= 0:
+            return 0.0
+        return self.completed_tokens / (self.makespan_us / 1e6)
+
+    @property
+    def requests_per_s(self) -> float:
+        if self.makespan_us <= 0:
+            return 0.0
+        return (len(self.requests) - self.failed_requests) / (self.makespan_us / 1e6)
+
+    @property
+    def mean_latency_us(self) -> float:
+        lats = [r.latency_us for r in self.requests]
+        return float(np.mean(lats)) if lats else 0.0
+
+    @property
+    def p95_latency_us(self) -> float:
+        lats = [r.latency_us for r in self.requests]
+        return float(np.percentile(lats, 95)) if lats else 0.0
+
+    @property
+    def mean_queue_us(self) -> float:
+        qs = [r.queue_us for r in self.requests]
+        return float(np.mean(qs)) if qs else 0.0
+
+    @property
+    def total_selection_us(self) -> float:
+        return sum(b.selection_us for b in self.batches)
+
+    def selection_summary(self) -> dict:
+        """Cold-vs-steady selection overhead — the PlanCache amortization.
+
+        A batch is *cold* when at least one of its plan lookups missed (it
+        paid a full Algorithm 1 search); *warm* when every lookup hit.
+        """
+        cold = [b.selection_us for b in self.batches if b.cache_misses > 0]
+        warm = [b.selection_us for b in self.batches if b.cache_misses == 0
+                and b.cache_hits > 0]
+        cold_us = float(np.mean(cold)) if cold else 0.0
+        warm_us = float(np.mean(warm)) if warm else 0.0
+        return {
+            "cold_batches": len(cold),
+            "warm_batches": len(warm),
+            "cold_selection_us": cold_us,
+            "warm_selection_us": warm_us,
+            "amortization": (cold_us / warm_us) if warm_us > 0 else float("inf"),
+        }
+
+    def describe(self) -> str:
+        sel = self.selection_summary()
+        cache = self.plan_cache_stats
+        failed = f"  failed: {self.failed_requests}" if self.failed_requests else ""
+        lines = [
+            f"requests: {len(self.requests)}  batches: {len(self.batches)}  "
+            f"tokens: {self.total_tokens}{failed}",
+            f"throughput: {self.throughput_tokens_per_s:,.0f} tok/s "
+            f"({self.requests_per_s:.1f} req/s)",
+            f"latency: mean {self.mean_latency_us / 1e3:.2f} ms  "
+            f"p95 {self.p95_latency_us / 1e3:.2f} ms  "
+            f"queue {self.mean_queue_us / 1e3:.2f} ms",
+            f"plan cache: {cache.get('hits', 0)} hits / "
+            f"{cache.get('misses', 0)} misses "
+            f"(hit rate {cache.get('hit_rate', 0.0) * 100:.1f}%)",
+            f"selection: cold {sel['cold_selection_us']:.1f} us/batch, "
+            f"steady {sel['warm_selection_us']:.1f} us/batch",
+        ]
+        return "\n".join(lines)
+
+
+class ServingEngine:
+    """Dynamic-batching inference engine over one device model.
+
+    Requests are drained FCFS: compatible requests (same
+    :meth:`InferenceRequest.batch_signature`) accumulate into a batch until
+    the padded-token budget or the batch-size cap would be exceeded, then
+    the batch executes on the simulated device.  Every batch first resolves
+    its kernel plans through the shared :class:`PlanCache` — cold batches
+    pay the Algorithm 1 search, steady-state batches pay a lookup.
+    """
+
+    #: Row/column caps of the representative masks fed to kernel selection;
+    #: selection outcomes concentrate long before the full problem size.
+    SAMPLE_ROWS = 512
+    SAMPLE_COLS = 256
+    ACT_SAMPLE_ROWS = 256
+    ACT_SAMPLE_COLS = 1024
+
+    def __init__(
+        self,
+        spec: GPUSpec,
+        *,
+        backend: str = "PIT",
+        dtype: str = "float32",
+        mode: str = "inference",
+        max_batch_tokens: int = 16384,
+        max_batch_size: int = 32,
+        devices: int = 1,
+        enforce_memory: bool = False,
+        plan_cache: Optional[PlanCache] = None,
+    ):
+        if max_batch_tokens < 1 or max_batch_size < 1:
+            raise ValueError("batch budgets must be >= 1")
+        self.spec = spec
+        self.dtype = dtype
+        self.mode = mode
+        self.max_batch_tokens = max_batch_tokens
+        self.max_batch_size = max_batch_size
+        self.devices = devices
+        self.enforce_memory = enforce_memory
+        self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
+        kwargs = {"plan_cache": self.plan_cache} if backend == "PIT" else {}
+        self.backend = make_backend(backend, spec, dtype, **kwargs)
+        self.tiledb = self.backend.tiledb
+        self._queue: list = []
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    def submit(self, workload: Workload, *, arrival_us: float = 0.0) -> InferenceRequest:
+        """Enqueue one workload; returns its request handle."""
+        request = InferenceRequest(
+            request_id=self._next_id, workload=workload, arrival_us=arrival_us
+        )
+        self._next_id += 1
+        self._queue.append(request)
+        return request
+
+    def submit_many(self, workloads, *, interarrival_us: float = 0.0) -> list:
+        """Enqueue a stream with a fixed inter-arrival gap."""
+        out = []
+        for i, w in enumerate(workloads):
+            out.append(self.submit(w, arrival_us=i * interarrival_us))
+        return out
+
+    def pending(self) -> int:
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # Batching: token-budget bucketing over variable-length requests
+    # ------------------------------------------------------------------
+    def _fits(self, batch: list, request: InferenceRequest) -> bool:
+        if not batch:
+            return True  # a lone oversized request still gets a batch
+        if len(batch) >= self.max_batch_size:
+            return False
+        max_len = max(r.max_len for r in batch + [request])
+        num_seqs = sum(r.workload.batch_size for r in batch + [request])
+        return max_len * num_seqs <= self.max_batch_tokens
+
+    def plan_batches(self, requests) -> list:
+        """Group arrival-ordered requests into compatible, budgeted batches.
+
+        Buckets are keyed by batch signature; a request opens a new batch
+        for its bucket when the padded-token budget (``max(len) x seqs``, the
+        quantity a padding-free kernel still schedules tiles over) or the
+        size cap would overflow.
+        """
+        order = sorted(requests, key=lambda r: (r.arrival_us, r.request_id))
+        open_batches: dict = {}
+        closed: list = []
+        for request in order:
+            sig = request.batch_signature()
+            batch = open_batches.get(sig)
+            if batch is not None and not self._fits(batch, request):
+                closed.append(batch)
+                batch = None
+            if batch is None:
+                batch = []
+                open_batches[sig] = batch
+            batch.append(request)
+        closed.extend(b for b in open_batches.values() if b)
+        closed.sort(key=lambda b: (b[0].arrival_us, b[0].request_id))
+        return closed
+
+    # ------------------------------------------------------------------
+    # Plan selection (the PlanCache hot path)
+    # ------------------------------------------------------------------
+    def _token_mask(self, workload: Workload) -> np.ndarray:
+        """Representative mask of the token-gather projection (m-axis):
+        live rows in proportion to real/padded tokens."""
+        padded = workload.max_len * workload.batch_size
+        density = workload.total_tokens / max(1, padded)
+        rows = min(max(1, padded), self.SAMPLE_ROWS)
+        cols = min(workload.config.d_model, self.SAMPLE_COLS)
+        mask = np.zeros((rows, cols), dtype=bool)
+        live = int(round(density * rows))
+        mask[:live] = True
+        return mask
+
+    def _quantize(self, x: float) -> int:
+        return int(round(x / self.plan_cache.quantum))
+
+    def _resolve_plan(self, kind: str, m: int, k: int, n: int, signature,
+                      make_samples):
+        """One plan-cache lookup; builds samples and runs Algorithm 1 only
+        on a miss.  The signature is derived from the workload's *summary
+        statistics*, so the steady-state path never touches a mask — that
+        is what keeps a hit at dictionary-lookup cost."""
+        key = self.plan_cache.make_key(
+            m, k, n, "A", (kind,) + tuple(signature), self.tiledb.cache_key
+        )
+        choice = self.plan_cache.get(key)
+        if choice is None:
+            choice = kernel_selection(make_samples(), m, k, n, self.tiledb)
+            self.plan_cache.put(key, choice)
+        return choice
+
+    def _select_plans(self, workload: Workload) -> tuple:
+        """Resolve the batch's kernel plans through the plan cache.
+
+        Returns ``(plans, wall_us, hits, misses)`` where ``wall_us`` is the
+        *measured* time the lookups/searches took — the serving-side
+        analogue of Section 5.5's online search overhead.
+        """
+        hits0, misses0 = self.plan_cache.hits, self.plan_cache.misses
+        cfg = workload.config
+        plans = {}
+        start = time.perf_counter()
+        padded = workload.max_len * workload.batch_size
+        density = workload.total_tokens / max(1, padded)
+        m = min(max(1, padded), self.SAMPLE_ROWS)
+        k = min(cfg.d_model, self.SAMPLE_COLS)
+        plans["proj"] = self._resolve_plan(
+            "proj", m, k, k, (self._quantize(density),),
+            lambda: [self._token_mask(workload)],
+        )
+        if workload.act_sparsity is not None:
+            rows = min(max(1, workload.total_tokens), self.ACT_SAMPLE_ROWS)
+            cols = min(cfg.d_ff, self.ACT_SAMPLE_COLS)
+            sparsity = workload.act_sparsity
+            plans["ffn.out"] = self._resolve_plan(
+                "act", rows, cols, k, (self._quantize(1.0 - sparsity),),
+                lambda: [
+                    relu_activation_mask(rows, cols, sparsity, seed=workload.seed)
+                ],
+            )
+        wall_us = (time.perf_counter() - start) * 1e6
+        hits = self.plan_cache.hits - hits0
+        misses = self.plan_cache.misses - misses0
+        return plans, wall_us, hits, misses
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self) -> ServingReport:
+        """Drain the queue: batch, plan, execute, account."""
+        requests, self._queue = self._queue, []
+        report = ServingReport()
+        now = 0.0
+        for batch_id, batch in enumerate(self.plan_batches(requests)):
+            workload = merge_workloads([r.workload for r in batch])
+            _, selection_us, hits, misses = self._select_plans(workload)
+            run = run_transformer(
+                workload,
+                self.backend,
+                mode=self.mode,
+                enforce_memory=self.enforce_memory,
+                devices=self.devices,
+            )
+            exec_us = run.latency_ms * 1e3 + selection_us
+            start = max(now, max(r.arrival_us for r in batch))
+            now = start + exec_us
+            report.batches.append(
+                BatchReport(
+                    batch_id=batch_id,
+                    request_ids=[r.request_id for r in batch],
+                    tokens=workload.total_tokens,
+                    padded_tokens=workload.max_len * workload.batch_size,
+                    start_us=start,
+                    exec_us=exec_us,
+                    selection_us=selection_us,
+                    cache_hits=hits,
+                    cache_misses=misses,
+                    run=run,
+                )
+            )
+            share = selection_us / len(batch)
+            for r in batch:
+                report.requests.append(
+                    RequestReport(
+                        request_id=r.request_id,
+                        batch_id=batch_id,
+                        tokens=r.tokens,
+                        arrival_us=r.arrival_us,
+                        start_us=start,
+                        queue_us=start - r.arrival_us,
+                        exec_us=exec_us,
+                        selection_us=share,
+                        ok=run.ok,
+                        error=run.error,
+                    )
+                )
+        report.requests.sort(key=lambda r: r.request_id)
+        # First batch start to last batch completion: idle time before any
+        # work arrives is not held against throughput.
+        first_start = report.batches[0].start_us if report.batches else 0.0
+        report.makespan_us = now - first_start
+        report.plan_cache_stats = self.plan_cache.stats()
+        return report

@@ -7,6 +7,7 @@ model-family restrictions), run them all, and return comparable reports.
 
 from __future__ import annotations
 
+import inspect
 from typing import Optional
 
 from ..baselines import (
@@ -40,15 +41,35 @@ BACKENDS_BY_NAME = {
 }
 
 
-def make_backend(
-    name: str, spec: GPUSpec, dtype: str = "float32", **kwargs
-) -> ModelBackend:
+def _resolve_backend(name: str):
     try:
-        cls = BACKENDS_BY_NAME[name]
+        return BACKENDS_BY_NAME[name]
     except KeyError:
         known = ", ".join(sorted(BACKENDS_BY_NAME))
         raise KeyError(f"unknown backend {name!r}; known: {known}") from None
-    return cls(spec, dtype, **kwargs)
+
+
+def make_backend(
+    name: str, spec: GPUSpec, dtype: str = "float32", **kwargs
+) -> ModelBackend:
+    return _resolve_backend(name)(spec, dtype, **kwargs)
+
+
+def validate_backend_kwargs(name: str, kwargs: dict) -> Optional[str]:
+    """Check that ``kwargs`` bind to the backend's constructor signature.
+
+    Returns an error string (or None) instead of raising, so a lineup can
+    report one backend's stale kwargs without aborting the others.
+    """
+    try:
+        cls = _resolve_backend(name)
+    except KeyError as exc:
+        return str(exc)
+    try:
+        inspect.signature(cls).bind(None, "float32", **kwargs)
+    except TypeError as exc:
+        return f"bad backend_kwargs for {name}: {exc}"
+    return None
 
 
 def run_lineup(
@@ -71,18 +92,29 @@ def run_lineup(
     backend_kwargs = backend_kwargs or {}
     reports = []
     for name in backend_names:
-        try:
-            backend = make_backend(name, spec, dtype, **backend_kwargs.get(name, {}))
-        except UnsupportedModelError as exc:
-            reports.append(
-                RunReport(
-                    model=workload.config.name,
-                    backend=name,
-                    mode=mode,
-                    unsupported=True,
-                    error=str(exc),
-                )
+        def _failure(msg: str) -> RunReport:
+            return RunReport(
+                model=workload.config.name,
+                backend=name,
+                mode=mode,
+                unsupported=True,
+                error=msg,
             )
+
+        kwargs = backend_kwargs.get(name, {})
+        # Validate kwargs up front: stale kwargs (a renamed or removed
+        # constructor argument) must cost one report, not the whole lineup.
+        kwargs_error = validate_backend_kwargs(name, kwargs)
+        if kwargs_error is not None:
+            reports.append(_failure(kwargs_error))
+            continue
+        # Kwargs were validated above, so a TypeError here would be a real
+        # constructor bug — let it propagate rather than masking it as an
+        # unsupported-backend report.
+        try:
+            backend = make_backend(name, spec, dtype, **kwargs)
+        except UnsupportedModelError as exc:
+            reports.append(_failure(str(exc)))
             continue
         reports.append(
             run_transformer(

@@ -7,13 +7,17 @@ from repro.core import (
     DenseMatmulKernel,
     PagedAttentionPolicy,
     PITCompiler,
+    PlanCache,
     SeqLenPolicy,
     SparseMatmulKernel,
     TileDB,
     batch_matmul_multi_axis_rules,
+    cached_kernel_selection,
+    kernel_from_choice,
     kernel_selection,
     matmul_axes_for_operand,
     matmul_rules,
+    sparsity_signature,
 )
 from repro.hw import V100, TileConfig
 
@@ -127,6 +131,143 @@ class TestKernelSelection:
         mask = granular_mask((256, 256), (2, 1), 0.9, seed=3)
         choice = kernel_selection([mask], 256, 256, 256, tiledb)
         assert choice.search_time_us > 0
+
+
+class _NoRulesTileDB:
+    """A tile database whose rule enumeration comes up empty — the shape of
+    the regression: ``best`` stayed None and ``best.pit_axis`` crashed."""
+
+    def __init__(self, real):
+        self._real = real
+        self.spec = real.spec
+        self.dtype = real.dtype
+        self.tensor_core = real.tensor_core
+        self.cache_key = ("no-rules",) + real.cache_key
+
+    def tiles(self):
+        return []
+
+    def best_dense_tile(self, m, k, n):
+        return self._real.best_dense_tile(m, k, n)
+
+
+class TestSelectionNoCandidates:
+    def test_no_candidates_without_fallback_raises(self, tiledb):
+        mask = granular_mask((128, 128), (8, 1), 0.9)
+        with pytest.raises(ValueError, match="no feasible PIT rule"):
+            kernel_selection(
+                [mask], 128, 128, 128, _NoRulesTileDB(tiledb),
+                include_dense_fallback=False,
+            )
+
+    def test_no_candidates_forces_dense_fallback(self, tiledb):
+        mask = granular_mask((128, 128), (8, 1), 0.9)
+        choice = kernel_selection([mask], 128, 128, 128, _NoRulesTileDB(tiledb))
+        assert choice.is_dense_fallback
+        assert choice.tile is not None
+        assert choice.est_cost_us < float("inf")
+
+
+class TestPlanCache:
+    def test_hit_on_statistically_alike_masks(self, tiledb):
+        """Two different masks with the same quantized signature share a
+        plan: the second lookup must not re-run Algorithm 1."""
+        cache = PlanCache()
+        m1 = granular_mask((512, 512), (8, 1), 0.95, seed=0)
+        m2 = granular_mask((512, 512), (8, 1), 0.95, seed=7)
+        assert not np.array_equal(m1, m2)
+        assert sparsity_signature([m1]) == sparsity_signature([m2])
+        c1 = cached_kernel_selection([m1], 512, 512, 512, tiledb, cache=cache)
+        c2 = cached_kernel_selection([m2], 512, 512, 512, tiledb, cache=cache)
+        assert c1 is c2
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_miss_on_sparsity_drift(self, tiledb):
+        """Density drifting past the quantization threshold is a new plan."""
+        cache = PlanCache()
+        sparse = granular_mask((512, 512), (8, 1), 0.95, seed=0)
+        denser = granular_mask((512, 512), (8, 1), 0.60, seed=0)
+        assert sparsity_signature([sparse]) != sparsity_signature([denser])
+        cached_kernel_selection([sparse], 512, 512, 512, tiledb, cache=cache)
+        cached_kernel_selection([denser], 512, 512, 512, tiledb, cache=cache)
+        assert cache.misses == 2 and cache.hits == 0
+
+    def test_fallback_flag_is_part_of_plan_identity(self, tiledb):
+        """A plan cached with the dense fallback enabled must not be served
+        to a caller that disabled it (and vice versa)."""
+        cache = PlanCache()
+        mask = granular_mask((256, 256), (8, 1), 0.9)
+        with_fallback = cached_kernel_selection(
+            [mask], 256, 256, 256, tiledb, cache=cache
+        )
+        without = cached_kernel_selection(
+            [mask], 256, 256, 256, tiledb, cache=cache,
+            include_dense_fallback=False,
+        )
+        assert cache.misses == 2
+        assert not without.is_dense_fallback
+        assert with_fallback is not without
+
+    def test_miss_on_shape_or_operand_change(self, tiledb):
+        cache = PlanCache()
+        mask = granular_mask((256, 256), (8, 1), 0.95)
+        cached_kernel_selection([mask], 256, 256, 256, tiledb, cache=cache)
+        cached_kernel_selection([mask], 256, 256, 512, tiledb, cache=cache)
+        assert cache.misses == 2
+
+    def test_lru_eviction_bound(self, tiledb):
+        cache = PlanCache(capacity=2)
+        masks = {
+            n: granular_mask((256, 256), (8, 1), 0.95)
+            for n in (128, 256, 512)
+        }
+        for n in (128, 256, 512):
+            cached_kernel_selection([masks[n]], 256, 256, n, tiledb, cache=cache)
+        assert len(cache) == 2
+        assert cache.evictions == 1
+        # The oldest entry (n=128) was evicted: looking it up misses again.
+        misses = cache.misses
+        cached_kernel_selection([masks[128]], 256, 256, 128, tiledb, cache=cache)
+        assert cache.misses == misses + 1
+
+    def test_lru_refresh_on_hit(self, tiledb):
+        cache = PlanCache(capacity=2)
+        mask = granular_mask((256, 256), (8, 1), 0.95)
+        cached_kernel_selection([mask], 256, 256, 128, tiledb, cache=cache)
+        cached_kernel_selection([mask], 256, 256, 256, tiledb, cache=cache)
+        cached_kernel_selection([mask], 256, 256, 128, tiledb, cache=cache)  # hit
+        cached_kernel_selection([mask], 256, 256, 512, tiledb, cache=cache)
+        # n=256 was least recently used, so n=128 must still be cached.
+        hits = cache.hits
+        cached_kernel_selection([mask], 256, 256, 128, tiledb, cache=cache)
+        assert cache.hits == hits + 1
+
+    def test_stats_and_hit_rate(self, tiledb):
+        cache = PlanCache()
+        mask = granular_mask((256, 256), (8, 1), 0.95)
+        cached_kernel_selection([mask], 256, 256, 256, tiledb, cache=cache)
+        cached_kernel_selection([mask], 256, 256, 256, tiledb, cache=cache)
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["hit_rate"] == pytest.approx(0.5)
+
+    def test_kernel_from_choice_matches_selection(self, tiledb):
+        mask = granular_mask((512, 512), (8, 1), 0.99)
+        choice = kernel_selection([mask], 512, 512, 512, tiledb)
+        kernel = kernel_from_choice(choice, tiledb.spec, tiledb.dtype)
+        if choice.is_dense_fallback:
+            assert isinstance(kernel, DenseMatmulKernel)
+        else:
+            assert isinstance(kernel, SparseMatmulKernel)
+            assert kernel.pit_axis == choice.pit_axis
+
+    def test_compiler_uses_plan_cache(self):
+        cache = PlanCache()
+        compiler = PITCompiler(V100, plan_cache=cache)
+        mask = granular_mask((256, 256), (8, 1), 0.99)
+        compiler.compile_matmul([mask], 256, 256, 256, use_cache=False)
+        compiler.compile_matmul([mask], 256, 256, 256, use_cache=False)
+        assert cache.hits == 1 and cache.misses == 1
 
 
 class TestCompiler:

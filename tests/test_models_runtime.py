@@ -192,6 +192,51 @@ class TestEngine:
             run_transformer(wl, PyTorchBackend(V100), mode="eval")
 
 
+class TestTensorParallel:
+    @staticmethod
+    def _allreduce_us(devices):
+        wl = bert_workload("mnli", 8, seed=0)
+        rep = run_transformer(wl, PyTorchBackend(V100), devices=devices)
+        return rep.timeline.by_op()["tp.allreduce"]
+
+    def test_allreduce_cost_monotone_in_devices(self):
+        """Ring allreduce moves 2*(d-1)/d of the payload per direction:
+        wider tensor parallelism must pay strictly more communication."""
+        costs = [self._allreduce_us(d) for d in (2, 4, 8)]
+        assert costs[0] < costs[1] < costs[2]
+
+    def test_allreduce_matches_ring_formula(self):
+        c2, c8 = self._allreduce_us(2), self._allreduce_us(8)
+        # 2-way moves 1.0x the payload per allreduce, 8-way moves 1.75x.
+        assert c8 / c2 == pytest.approx(1.75, rel=1e-6)
+
+
+class TestLineupKwargs:
+    def test_stale_kwargs_do_not_abort_lineup(self):
+        """A stale backend_kwargs entry (renamed/removed constructor arg)
+        must cost one failure report, not the whole lineup."""
+        wl = bert_workload("cola", 4, seed=0)
+        reports = run_lineup(
+            wl,
+            ["PyTorch", "PIT"],
+            V100,
+            backend_kwargs={"PyTorch": {"bogus_flag": True}},
+        )
+        by_name = {r.backend: r for r in reports}
+        assert by_name["PyTorch"].unsupported
+        assert "bogus_flag" in by_name["PyTorch"].error
+        assert by_name["PIT"].ok
+
+    def test_valid_kwargs_still_bind(self):
+        from repro.runtime import validate_backend_kwargs
+
+        assert validate_backend_kwargs("PIT", {"plan_cache": None}) is None
+        assert validate_backend_kwargs("PyTorch", {}) is None
+        error = validate_backend_kwargs("PyTorch", {"nope": 1})
+        assert error is not None and "nope" in error
+        assert validate_backend_kwargs("NoSuchBackend", {}) is not None
+
+
 class TestSparseTraining:
     def test_pit_fastest_at_fine_granularity(self):
         """Figure 15's 32x1 panel: PIT > PyTorch > PyTorch-S."""

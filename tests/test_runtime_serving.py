@@ -1,0 +1,193 @@
+"""Tests for the serving layer: dynamic batching + plan-cache amortization."""
+
+import numpy as np
+import pytest
+
+from repro.core import PlanCache
+from repro.hw import V100
+from repro.models import (
+    bert_workload,
+    longformer_workload,
+    opt_inference_workload,
+    switch_workload,
+)
+from repro.runtime import InferenceRequest, ServingEngine, merge_workloads
+
+
+def make_engine(**kwargs):
+    defaults = dict(max_batch_tokens=8192, max_batch_size=8)
+    defaults.update(kwargs)
+    return ServingEngine(V100, **defaults)
+
+
+class TestBatching:
+    def test_compatible_requests_share_a_batch(self):
+        engine = make_engine()
+        engine.submit(bert_workload("mnli", 4, seed=0))
+        engine.submit(bert_workload("mnli", 4, seed=1))
+        batches = engine.plan_batches(engine._queue)
+        assert len(batches) == 1
+        assert len(batches[0]) == 2
+
+    def test_incompatible_configs_do_not_batch(self):
+        """Different architectures (and different activation-sparsity
+        regimes) never share a batch."""
+        engine = make_engine()
+        engine.submit(bert_workload("mnli", 4, seed=0))
+        engine.submit(longformer_workload(seq_len=2048, batch_size=1, seed=0))
+        batches = engine.plan_batches(engine._queue)
+        assert len(batches) == 2
+        assert all(len(b) == 1 for b in batches)
+
+    def test_token_budget_splits_batches(self):
+        engine = make_engine(max_batch_tokens=1024)
+        for s in range(6):
+            engine.submit(bert_workload("mnli", 4, seed=s))
+        batches = engine.plan_batches(engine._queue)
+        assert len(batches) > 1
+        for batch in batches:
+            max_len = max(r.max_len for r in batch)
+            seqs = sum(r.workload.batch_size for r in batch)
+            assert max_len * seqs <= 1024 or len(batch) == 1
+
+    def test_batch_size_cap(self):
+        engine = make_engine(max_batch_tokens=10**9, max_batch_size=3)
+        for s in range(7):
+            engine.submit(bert_workload("mnli", 2, seed=s))
+        batches = engine.plan_batches(engine._queue)
+        assert [len(b) for b in batches] == [3, 3, 1]
+
+    def test_moe_workloads_never_co_batch(self):
+        engine = make_engine()
+        engine.submit(switch_workload(8, 4, seed=0))
+        engine.submit(switch_workload(8, 4, seed=1))
+        batches = engine.plan_batches(engine._queue)
+        assert len(batches) == 2
+
+    def test_merge_concatenates_lengths(self):
+        w1 = bert_workload("mnli", 4, seed=0)
+        w2 = bert_workload("mnli", 4, seed=1)
+        merged = merge_workloads([w1, w2])
+        assert merged.batch_size == 8
+        assert merged.total_tokens == w1.total_tokens + w2.total_tokens
+        np.testing.assert_array_equal(
+            merged.lengths, np.concatenate([w1.lengths, w2.lengths])
+        )
+
+    def test_merge_rejects_empty(self):
+        with pytest.raises(ValueError):
+            merge_workloads([])
+
+
+class TestServingRun:
+    def test_per_request_reports_sum_to_engine_totals(self):
+        engine = make_engine()
+        for s in range(6):
+            engine.submit(bert_workload("mnli", 4, seed=s), arrival_us=s * 500.0)
+        report = engine.run()
+        assert len(report.requests) == 6
+        # Tokens: per-request sums equal per-batch sums equal the total.
+        assert report.total_tokens == sum(b.tokens for b in report.batches)
+        assert report.total_tokens == sum(r.tokens for r in report.requests)
+        # Selection: amortized per-request shares sum back to batch totals.
+        assert sum(r.selection_us for r in report.requests) == pytest.approx(
+            report.total_selection_us
+        )
+        # Makespan: first batch start to last batch completion.
+        assert report.makespan_us == pytest.approx(
+            max(b.start_us + b.exec_us for b in report.batches)
+            - report.batches[0].start_us
+        )
+        assert report.throughput_tokens_per_s > 0
+
+    def test_queueing_delay_accounting(self):
+        engine = make_engine()
+        engine.submit(bert_workload("mnli", 4, seed=0), arrival_us=0.0)
+        engine.submit(bert_workload("mnli", 4, seed=1), arrival_us=1000.0)
+        report = engine.run()
+        for r in report.requests:
+            assert r.queue_us >= 0
+            assert r.start_us >= r.arrival_us
+            assert r.latency_us == pytest.approx(r.queue_us + r.exec_us)
+        # Batched together: the earlier request waits for the later arrival.
+        assert len(report.batches) == 1
+        assert report.requests[0].queue_us >= 1000.0
+
+    def test_plan_cache_amortizes_across_runs(self):
+        cache = PlanCache()
+        engine = make_engine(plan_cache=cache)
+        for s in range(4):
+            engine.submit(bert_workload("mnli", 8, seed=s))
+        engine.run()
+        misses_after_warmup = cache.misses
+        for s in range(4):
+            engine.submit(bert_workload("mnli", 8, seed=s))
+        report = engine.run()
+        # Steady state: the same traffic shape introduces no new plans.
+        assert cache.misses == misses_after_warmup
+        assert cache.hits > 0
+        assert report.plan_cache_stats["hit_rate"] > 0
+
+    def test_warm_batches_select_faster(self):
+        engine = make_engine()
+        for s in range(10):
+            engine.submit(bert_workload("mnli", 8, seed=s))
+        report = engine.run()
+        summary = report.selection_summary()
+        if summary["warm_batches"]:  # cold-only runs can't compare
+            assert summary["warm_selection_us"] < summary["cold_selection_us"]
+
+    def test_act_sparsity_stream_plans_ffn(self):
+        cache = PlanCache()
+        engine = make_engine(plan_cache=cache, max_batch_size=4)
+        engine.submit(opt_inference_workload("125m", 4, seed=0))
+        report = engine.run()
+        # Two plans resolved: the token projection and the sparse-act FFN.
+        assert report.batches[0].cache_misses == 2
+
+    def test_pit_backend_shares_engine_plan_cache(self):
+        engine = make_engine()
+        assert engine.backend.plan_cache is engine.plan_cache
+
+    def test_describe_mentions_hit_rate(self):
+        engine = make_engine()
+        engine.submit(bert_workload("mnli", 4, seed=0))
+        report = engine.run()
+        text = report.describe()
+        assert "hit rate" in text
+        assert "throughput" in text
+
+    def test_run_drains_queue(self):
+        engine = make_engine()
+        engine.submit(bert_workload("mnli", 4, seed=0))
+        assert engine.pending() == 1
+        engine.run()
+        assert engine.pending() == 0
+
+    def test_request_ids_are_stable(self):
+        engine = make_engine()
+        r1 = engine.submit(bert_workload("mnli", 4, seed=0))
+        r2 = engine.submit(bert_workload("mnli", 4, seed=1))
+        assert (r1.request_id, r2.request_id) == (0, 1)
+        report = engine.run()
+        assert [r.request_id for r in report.requests] == [0, 1]
+
+
+class TestRequestSignatures:
+    def test_same_model_same_signature(self):
+        a = InferenceRequest(0, bert_workload("mnli", 4, seed=0))
+        b = InferenceRequest(1, bert_workload("mnli", 4, seed=5))
+        assert a.batch_signature() == b.batch_signature()
+
+    def test_act_sparsity_changes_signature(self):
+        a = InferenceRequest(0, opt_inference_workload("125m", 2, seed=0))
+        b = InferenceRequest(
+            1, opt_inference_workload("125m", 2, act_sparsity=0.5, seed=0)
+        )
+        assert a.batch_signature() != b.batch_signature()
+
+    def test_attention_stats_quantized(self):
+        """Longformer masks jitter seed to seed; same config must bucket."""
+        a = InferenceRequest(0, longformer_workload(seq_len=2048, seed=0))
+        b = InferenceRequest(1, longformer_workload(seq_len=2048, seed=3))
+        assert a.batch_signature() == b.batch_signature()
