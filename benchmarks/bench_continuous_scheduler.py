@@ -1,0 +1,190 @@
+"""Continuous batching + multi-replica scheduling vs the drain baseline.
+
+Drives an interleaved-arrival Figure-11 style BERT stream (alternating
+mnli/cola requests with dataset-drawn variable sequence lengths) through
+the :class:`~repro.runtime.scheduler.ContinuousScheduler` and gates the
+three properties the scheduler exists for:
+
+1. **Latency** (light load): with a batching-window deadline, an early
+   arrival no longer waits for a full drain-mode batch to form — p95
+   queueing delay must be strictly below drain mode while serving the
+   stream in no more wall time (equal-or-better episode throughput).
+2. **Scale-out** (heavy load): least-loaded placement across 4 replicas
+   must at least double single-replica episode throughput.
+3. **Shared PlanCache**: the 4-replica run must add *zero* cold
+   Algorithm 1 searches over the warmed single-replica run — one cache
+   serves every replica, so scaling out is selection-overhead-free.
+
+Warm-up runs populate the plan cache first: cold Algorithm 1 searches are
+*measured wall time* (Section 5.5's 30-100us budget; milliseconds in this
+pure-python reproduction) and folding them into batch latencies would
+measure the host machine, not the scheduler.
+
+Episode throughput is ``completed_tokens / last_batch_completion`` — the
+first arrival lands at t=0, so this is tokens over the wall time the whole
+episode took.  (``ServingReport.makespan_us`` starts at the *first batch
+start* instead, which would flatter drain mode for forming its first batch
+late.)
+
+Run:  PYTHONPATH=src python benchmarks/bench_continuous_scheduler.py
+"""
+
+from __future__ import annotations
+
+from repro.core import PlanCache
+from repro.hw import V100
+from repro.models import bert_workload
+from repro.runtime import ServingEngine, format_table
+
+#: Interleaved two-task BERT stream (Figure 11 traffic shapes).
+NUM_REQUESTS = 48
+#: Light load: inter-arrival well above per-request execution time.
+LIGHT_GAP_US = 5000.0
+#: Heavy load: arrivals outpace one replica, building a backlog.
+HEAVY_GAP_US = 1000.0
+BATCH_WINDOW_US = 2000.0
+REPLICAS = 4
+
+
+def interleaved_stream(n: int = NUM_REQUESTS) -> list:
+    return [
+        bert_workload("mnli" if s % 2 == 0 else "cola", 8, seed=s)
+        for s in range(n)
+    ]
+
+
+def serve(cache, *, policy, gap_us, replicas=1):
+    engine = ServingEngine(
+        V100,
+        max_batch_tokens=8192,
+        max_batch_size=8,
+        replicas=replicas,
+        batch_window_us=BATCH_WINDOW_US,
+        plan_cache=cache,
+        enforce_memory=False,
+    )
+    engine.submit_many(interleaved_stream(), interarrival_us=gap_us)
+    return engine.run(policy=policy)
+
+
+def episode_throughput(report) -> float:
+    """Completed tokens over the episode's wall clock (arrivals start at 0)."""
+    last_end = max((b.start_us + b.exec_us for b in report.batches), default=0.0)
+    if last_end <= 0:
+        return 0.0
+    return report.completed_tokens / (last_end / 1e6)
+
+
+def row(label, report):
+    return [
+        label,
+        len(report.batches),
+        f"{episode_throughput(report):,.0f}",
+        report.mean_queue_us / 1e3,
+        report.p95_queue_us / 1e3,
+        report.p95_latency_us / 1e3,
+        len(report.replica_stats) or 1,
+    ]
+
+
+def main():
+    cache = PlanCache()
+
+    # Warm-up: populate the plan cache with every batch composition the
+    # measured runs will produce (batching is placement-independent, so the
+    # 1- and 4-replica runs form identical batches).
+    for policy, gap in (
+        ("drain", LIGHT_GAP_US),
+        ("continuous", LIGHT_GAP_US),
+        ("drain", HEAVY_GAP_US),
+        ("continuous", HEAVY_GAP_US),
+    ):
+        serve(cache, policy=policy, gap_us=gap)
+
+    # --- Regime 1: light load — the batching-window latency win ---------
+    drain_light = serve(cache, policy="drain", gap_us=LIGHT_GAP_US)
+    cont_light = serve(cache, policy="continuous", gap_us=LIGHT_GAP_US)
+
+    # --- Regime 2: heavy load — least-loaded multi-replica scale-out ----
+    drain_heavy = serve(cache, policy="drain", gap_us=HEAVY_GAP_US)
+    cont_heavy_1r = serve(cache, policy="continuous", gap_us=HEAVY_GAP_US)
+    misses_before = cache.misses
+    cont_heavy_4r = serve(
+        cache, policy="continuous", gap_us=HEAVY_GAP_US, replicas=REPLICAS
+    )
+    extra_cold_searches = cache.misses - misses_before
+
+    print(
+        format_table(
+            ["run", "batches", "tok/s", "mean queue ms", "p95 queue ms",
+             "p95 latency ms", "replicas"],
+            [
+                row("drain (light)", drain_light),
+                row("continuous (light)", cont_light),
+                row("drain (heavy)", drain_heavy),
+                row("continuous 1r (heavy)", cont_heavy_1r),
+                row(f"continuous {REPLICAS}r (heavy)", cont_heavy_4r),
+            ],
+            title=(
+                "Continuous batching vs drain "
+                f"(interleaved BERT stream, window {BATCH_WINDOW_US:.0f} us)"
+            ),
+        )
+    )
+    print()
+    util = "  ".join(
+        f"r{s.replica_id}: {s.utilization * 100:.0f}%"
+        for s in cont_heavy_4r.replica_stats
+    )
+    print(f"{REPLICAS}-replica utilization: {util}")
+
+    # --- Gates -----------------------------------------------------------
+    failures = []
+
+    p95_cont = cont_light.p95_queue_us
+    p95_drain = drain_light.p95_queue_us
+    if not p95_cont < p95_drain:
+        failures.append(
+            f"p95 queueing delay: continuous {p95_cont / 1e3:.2f} ms is not "
+            f"strictly below drain {p95_drain / 1e3:.2f} ms"
+        )
+    tput_cont = episode_throughput(cont_light)
+    tput_drain = episode_throughput(drain_light)
+    if tput_cont < 0.95 * tput_drain:
+        failures.append(
+            f"episode throughput: continuous {tput_cont:,.0f} tok/s fell "
+            f"below drain {tput_drain:,.0f} tok/s (need >= 0.95x)"
+        )
+    print(
+        f"latency gate: p95 queue {p95_cont / 1e3:.2f} ms (continuous) vs "
+        f"{p95_drain / 1e3:.2f} ms (drain) at {tput_cont / tput_drain:.2f}x "
+        f"throughput"
+    )
+
+    tput_1r = episode_throughput(cont_heavy_1r)
+    tput_4r = episode_throughput(cont_heavy_4r)
+    scale = tput_4r / tput_1r if tput_1r > 0 else 0.0
+    if scale < 2.0:
+        failures.append(
+            f"scale-out: {REPLICAS} replicas gave {scale:.2f}x single-replica "
+            f"throughput (need >= 2x)"
+        )
+    print(f"scale-out gate: {REPLICAS} replicas = {scale:.2f}x 1 replica")
+
+    if extra_cold_searches != 0:
+        failures.append(
+            f"shared PlanCache: the {REPLICAS}-replica run paid "
+            f"{extra_cold_searches} extra cold Algorithm 1 searches (need 0)"
+        )
+    print(
+        f"plan-cache gate: {extra_cold_searches} extra cold searches across "
+        f"{REPLICAS} replicas"
+    )
+
+    if failures:
+        raise SystemExit("FAIL: " + "; ".join(failures))
+    print("OK: continuous batching + multi-replica gates hold")
+
+
+if __name__ == "__main__":
+    main()

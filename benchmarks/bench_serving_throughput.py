@@ -103,6 +103,14 @@ def main():
     mean = lambda xs: sum(xs) / len(xs) if xs else 0.0  # noqa: E731
     cold = mean(per_request_cold)
     warm = mean(per_request_warm)
+    if not warm_us:
+        # Zero warm batches would make the amortization ratio inf and the
+        # >=10x gate below pass vacuously without measuring anything.
+        raise SystemExit(
+            "FAIL: no warm (all-cache-hit) batches were observed — the "
+            "amortization gate would be vacuous; the PlanCache is not "
+            "amortizing across requests"
+        )
     amortization = cold / warm if warm > 0 else float("inf")
     print()
     print(

@@ -212,6 +212,10 @@ def sparsity_signature(sparsity_samples, *, quantum: float = SIGNATURE_QUANTUM):
     )
 
 
+#: Process-wide shared plan caches by name — see :meth:`PlanCache.shared`.
+_SHARED_PLAN_CACHES: dict = {}
+
+
 class PlanCache:
     """LRU memo of kernel plans keyed by problem + quantized sparsity.
 
@@ -239,6 +243,43 @@ class PlanCache:
 
     def __contains__(self, key) -> bool:
         return key in self._entries
+
+    @classmethod
+    def shared(
+        cls,
+        name: str = "default",
+        *,
+        capacity: int = 256,
+        quantum: float = SIGNATURE_QUANTUM,
+    ) -> "PlanCache":
+        """The process-wide cache registered under ``name``.
+
+        The serving stack builds engines, compilers and backends per stream
+        (and the replica scheduler builds none of its own — it deliberately
+        rides its engine's cache); this is the analogue of
+        :meth:`~repro.core.tiledb.TileDB.shared` for plan memos, so separate
+        engines in one process can warm each other.  ``capacity`` and
+        ``quantum`` apply on first construction; a later call with different
+        values for the same name raises rather than silently handing back a
+        cache with other parameters.
+        """
+        cache = _SHARED_PLAN_CACHES.get(name)
+        if cache is None:
+            cache = cls(capacity, quantum=quantum)
+            _SHARED_PLAN_CACHES[name] = cache
+            return cache
+        if cache.capacity != capacity or cache.quantum != quantum:
+            raise ValueError(
+                f"shared plan cache {name!r} exists with capacity="
+                f"{cache.capacity}, quantum={cache.quantum}; requested "
+                f"capacity={capacity}, quantum={quantum}"
+            )
+        return cache
+
+    @staticmethod
+    def clear_shared() -> None:
+        """Drop the shared instances (tests that vary cache parameters)."""
+        _SHARED_PLAN_CACHES.clear()
 
     def make_key(
         self, m: int, k: int, n: int, sparse_operand: str, signature, tiledb_key

@@ -7,9 +7,11 @@ from .engine import (
     speedup_table,
 )
 from .report import format_speedups, format_table
+from .scheduler import ContinuousScheduler
 from .serving import (
     BatchReport,
     InferenceRequest,
+    ReplicaStats,
     RequestReport,
     ServingEngine,
     ServingReport,
@@ -26,7 +28,9 @@ from .training import SparseTrainingReport, sparse_training_step
 __all__ = [
     "BACKENDS_BY_NAME",
     "BatchReport",
+    "ContinuousScheduler",
     "InferenceRequest",
+    "ReplicaStats",
     "RequestReport",
     "RunReport",
     "ServingEngine",

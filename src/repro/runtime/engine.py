@@ -74,9 +74,11 @@ def run_transformer(
     """Price one forward (or forward+backward) pass of ``workload``.
 
     ``devices > 1`` models tensor parallelism the way the paper runs
-    OPT-13B/30B on eight V100s: weights, optimizer state and activations
-    shard evenly, per-layer compute divides by the device count, and every
-    layer pays two ring-allreduces over the token activations.
+    OPT-13B/30B on eight V100s: weights and optimizer state shard evenly,
+    the weight-bearing matmuls (projections, attention, FFN / MoE experts)
+    divide by the device count while layernorm and pointwise ops — and the
+    token activations they produce — stay replicated at full size, and
+    every layer pays two ring-allreduces over the token activations.
     """
     if mode not in ("inference", "training"):
         raise ValueError(f"mode must be inference|training, got {mode!r}")
@@ -117,55 +119,72 @@ def run_transformer(
         mem.alloc(tokens * d * dsize, "embedding.out", category="activations")
 
         for layer in range(total_layers):
-            reports = []
-            reports += backend.layernorm(lengths, d)
+            # Megatron-style TP shards only the weight-bearing matmuls
+            # (column/row-parallel projections, per-head attention, the FFN
+            # or MoE experts); layernorm, residual adds and other pointwise
+            # ops run replicated at full size on every rank.
+            reports = []  # (ExecReport, sharded) in op order
+
+            def _add(execs, *, sharded):
+                reports.extend((r, sharded) for r in execs)
+
+            _add(backend.layernorm(lengths, d), sharded=False)
             for name in ("attn.q", "attn.k", "attn.v"):
-                reports += backend.linear(lengths, d, d, label=name, mem=mem)
-            reports += backend.attention(
-                lengths,
-                heads,
-                cfg.head_dim,
-                attn_mask=workload.attn_stats,
-                causal=cfg.causal,
-                mem=mem,
+                _add(backend.linear(lengths, d, d, label=name, mem=mem),
+                     sharded=True)
+            _add(
+                backend.attention(
+                    lengths,
+                    heads,
+                    cfg.head_dim,
+                    attn_mask=workload.attn_stats,
+                    causal=cfg.causal,
+                    mem=mem,
+                ),
+                sharded=True,
             )
-            reports += backend.linear(lengths, d, d, label="attn.proj", mem=mem)
-            reports += backend.pointwise(lengths, d)
-            reports += backend.layernorm(lengths, d)
+            _add(backend.linear(lengths, d, d, label="attn.proj", mem=mem),
+                 sharded=True)
+            _add(backend.pointwise(lengths, d), sharded=False)
+            _add(backend.layernorm(lengths, d), sharded=False)
             routing = workload.routing_for(layer)
             if routing is not None:
                 # Padding systems route every padded position; PIT routes
                 # only real tokens.  Rescale the canonical routing to this
                 # backend's effective token count.
                 routing = routing.scaled_to(backend.padded_tokens(lengths))
-                reports += backend.moe_ffn(routing, d, d_ff, mem=mem)
+                _add(backend.moe_ffn(routing, d, d_ff, mem=mem), sharded=True)
             else:
-                reports += backend.ffn(
-                    lengths,
-                    d,
-                    d_ff,
-                    activation=cfg.activation,
-                    act_sparsity=workload.act_sparsity,
-                    seed=workload.seed * 31 + layer,
-                    mem=mem,
+                _add(
+                    backend.ffn(
+                        lengths,
+                        d,
+                        d_ff,
+                        activation=cfg.activation,
+                        act_sparsity=workload.act_sparsity,
+                        seed=workload.seed * 31 + layer,
+                        mem=mem,
+                    ),
+                    sharded=True,
                 )
-            reports += backend.pointwise(lengths, d)
+            _add(backend.pointwise(lengths, d), sharded=False)
             if devices > 1:
-                # Tensor parallelism: compute divides across devices; two
-                # allreduces per layer move the token activations around the
-                # ring.  A ring allreduce sends 2*(devices-1)/devices of the
-                # payload per link (reduce-scatter + all-gather), so wider
-                # rings cost strictly more per allreduce.
-                for r in reports:
-                    r.latency_us /= devices
-                    r.convert_us /= devices
+                # Tensor parallelism: sharded compute divides across devices;
+                # two allreduces per layer move the token activations around
+                # the ring.  A ring allreduce sends 2*(devices-1)/devices of
+                # the payload per link (reduce-scatter + all-gather), so
+                # wider rings cost strictly more per allreduce.
+                for r, sharded in reports:
+                    if sharded:
+                        r.latency_us /= devices
+                        r.convert_us /= devices
                 comm_bytes = tokens * d * dsize
                 ring_factor = 2.0 * (devices - 1) / devices
                 comm_us = 2 * (ring_factor * comm_bytes / (NVLINK_GBS * 1e3))
                 reports.append(
-                    ExecReport(op="tp.allreduce", latency_us=comm_us)
+                    (ExecReport(op="tp.allreduce", latency_us=comm_us), False)
                 )
-            for r in reports:
+            for r, _ in reports:
                 timeline.add(r)
 
             if mode == "inference":

@@ -1,0 +1,220 @@
+"""Continuous batching + multi-replica placement over a simulated clock.
+
+The drain path (PR 1) batches the whole queue in one FCFS pass: an open
+batch can never admit a request that arrives after ``run()`` starts, and
+every batch serializes onto one device.  This module replaces that with the
+two mechanisms a serving system actually runs:
+
+* **Continuous batching** (the vLLM admission discipline): requests are
+  processed as *events* on a simulated clock.  An arrival joins the open
+  batch for its signature when the token budget and size cap allow;
+  otherwise it closes that batch and opens a new one.  An open batch also
+  closes when its **batching window** expires — a configurable deadline
+  measured from the moment the batch opened, bounding how long an early
+  arrival can wait for co-batching partners.  A batch that hits the size
+  cap closes immediately (no later arrival could ever join it, so waiting
+  out the window would only add queueing delay).
+
+* **Multi-replica placement**: closed batches dispatch onto N device
+  replicas, least-loaded first (the replica that frees up earliest; ties
+  break toward the lowest id, making placement deterministic).  All
+  replicas execute through the engine's single backend and — critically —
+  one shared :class:`~repro.core.selection.PlanCache`: the first cold
+  Algorithm 1 search for a traffic signature warms *every* replica, so
+  adding replicas adds zero cold searches (the PIT-specific twist on
+  standard continuous batching).
+
+Execution time stays the analytical device model's simulated latency and
+selection overhead stays measured wall time, exactly as in
+:mod:`~repro.runtime.serving`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .serving import ReplicaStats, ServingReport
+
+#: Event kinds, ordered so that an arrival at time ``t`` is processed before
+#: a window deadline at the same ``t`` — a request arriving exactly on the
+#: deadline still rides the batch it was aimed at.
+_ARRIVE = 0
+_DEADLINE = 1
+
+
+@dataclass
+class _OpenBatch:
+    """A batch still admitting arrivals."""
+
+    signature: tuple
+    opened_us: float
+    #: Monotone token distinguishing this batch from a later batch that
+    #: reuses the signature slot; a stale deadline event must not close it.
+    token: int
+    requests: list = field(default_factory=list)
+
+
+@dataclass
+class _Replica:
+    """One simulated device replica's schedule."""
+
+    replica_id: int
+    free_at_us: float = 0.0
+    busy_us: float = 0.0
+    batches: int = 0
+    tokens: int = 0
+
+
+class ContinuousScheduler:
+    """Event-driven continuous batching across N device replicas.
+
+    Drives an engine's queue through a simulated-clock event loop.  The
+    scheduler owns batching (admission + closure) and placement; planning
+    and execution stay on the engine (:meth:`ServingEngine.execute_batch`),
+    so every replica resolves kernel plans through the engine's one
+    :class:`~repro.core.selection.PlanCache`.
+
+    ``batch_window_us=None`` disables the deadline entirely: batches close
+    only on budget overflow or end of stream (maximum co-batching, worst
+    queueing delay — the drain policy's admission behaviour with continuous
+    placement).
+    """
+
+    def __init__(
+        self,
+        engine,
+        *,
+        replicas: int = 1,
+        batch_window_us: Optional[float] = 2000.0,
+    ):
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        if batch_window_us is not None and batch_window_us < 0:
+            raise ValueError("batch_window_us must be >= 0 (or None)")
+        self.engine = engine
+        self.num_replicas = replicas
+        self.batch_window_us = batch_window_us
+
+    # ------------------------------------------------------------------
+    # The event loop
+    # ------------------------------------------------------------------
+    def run(self, requests) -> ServingReport:
+        """Serve ``requests`` (arrival-stamped) and return the report."""
+        report = ServingReport(policy="continuous")
+        replicas = [_Replica(i) for i in range(self.num_replicas)]
+        open_batches: dict = {}
+        tokens = itertools.count()
+        seq = itertools.count()
+        events: list = []
+        for r in sorted(requests, key=lambda r: (r.arrival_us, r.request_id)):
+            heapq.heappush(events, (r.arrival_us, _ARRIVE, next(seq), r))
+
+        last_event_us = 0.0
+        while events:
+            now, kind, _, payload = heapq.heappop(events)
+            last_event_us = max(last_event_us, now)
+            if kind == _ARRIVE:
+                self._admit(payload, now, open_batches, events, seq, tokens,
+                            replicas, report)
+            else:
+                signature, token = payload
+                batch = open_batches.get(signature)
+                if batch is not None and batch.token == token:
+                    del open_batches[signature]
+                    self._dispatch(batch, now, replicas, report)
+
+        # With no window, batches whose budget never overflowed are still
+        # open when the stream ends; close them at the last event (there is
+        # nothing left to wait for).
+        for batch in sorted(open_batches.values(), key=lambda b: b.opened_us):
+            self._dispatch(batch, last_event_us, replicas, report)
+
+        report.requests.sort(key=lambda r: r.request_id)
+        first_start = min((b.start_us for b in report.batches), default=0.0)
+        last_end = max(
+            (b.start_us + b.exec_us for b in report.batches), default=0.0
+        )
+        report.makespan_us = last_end - first_start
+        for rep in replicas:
+            report.replica_stats.append(
+                ReplicaStats(
+                    replica_id=rep.replica_id,
+                    batches=rep.batches,
+                    tokens=rep.tokens,
+                    busy_us=rep.busy_us,
+                    utilization=(
+                        rep.busy_us / report.makespan_us
+                        if report.makespan_us > 0
+                        else 0.0
+                    ),
+                )
+            )
+        report.plan_cache_stats = self.engine.plan_cache.stats()
+        return report
+
+    def _admit(self, request, now, open_batches, events, seq, tokens,
+               replicas, report) -> None:
+        """Place one arrival into (or around) its signature's open batch."""
+        signature = request.batch_signature()
+        batch = open_batches.get(signature)
+        if batch is not None and not self.engine._fits(batch.requests, request):
+            # The arrival does not fit: the open batch closes now and the
+            # arrival opens a fresh one (its window starts from `now`).
+            del open_batches[signature]
+            self._dispatch(batch, now, replicas, report)
+            batch = None
+        if batch is None:
+            batch = _OpenBatch(
+                signature=signature, opened_us=now, token=next(tokens)
+            )
+            open_batches[signature] = batch
+            if self.batch_window_us is not None:
+                heapq.heappush(
+                    events,
+                    (
+                        now + self.batch_window_us,
+                        _DEADLINE,
+                        next(seq),
+                        (signature, batch.token),
+                    ),
+                )
+        batch.requests.append(request)
+        if self._saturated(batch.requests):
+            # Full: no future arrival can join, so waiting only adds delay.
+            del open_batches[signature]
+            self._dispatch(batch, now, replicas, report)
+
+    def _saturated(self, requests) -> bool:
+        """True when no conceivable arrival could still join the batch.
+
+        Either the size cap is reached, or the token budget cannot admit
+        even the cheapest possible request (one sequence no longer than the
+        batch's current max — padded tokens only grow with admissions, e.g.
+        a lone request already over budget).
+        """
+        if len(requests) >= self.engine.max_batch_size:
+            return True
+        max_len = max(r.max_len for r in requests)
+        num_seqs = sum(r.workload.batch_size for r in requests)
+        return max_len * (num_seqs + 1) > self.engine.max_batch_tokens
+
+    def _dispatch(self, batch: _OpenBatch, close_us: float, replicas,
+                  report: ServingReport) -> None:
+        """Place a closed batch onto the least-loaded replica and execute."""
+        replica = min(replicas, key=lambda r: (r.free_at_us, r.replica_id))
+        start = max(close_us, replica.free_at_us)
+        batch_report, request_reports = self.engine.execute_batch(
+            batch.requests,
+            batch_id=len(report.batches),
+            start_us=start,
+            replica_id=replica.replica_id,
+        )
+        replica.free_at_us = start + batch_report.exec_us
+        replica.busy_us += batch_report.exec_us
+        replica.batches += 1
+        replica.tokens += batch_report.tokens
+        report.batches.append(batch_report)
+        report.requests.extend(request_reports)

@@ -138,6 +138,8 @@ class BatchReport:
     cache_hits: int
     cache_misses: int
     run: RunReport
+    #: Which replica executed the batch (always 0 under the drain policy).
+    replica_id: int = 0
 
     @property
     def size(self) -> int:
@@ -145,14 +147,31 @@ class BatchReport:
 
 
 @dataclass
+class ReplicaStats:
+    """Per-replica accounting of one scheduler run."""
+
+    replica_id: int
+    batches: int = 0
+    tokens: int = 0
+    #: Simulated time the replica spent executing batches.
+    busy_us: float = 0.0
+    #: ``busy_us / makespan_us`` — fraction of the run the replica worked.
+    utilization: float = 0.0
+
+
+@dataclass
 class ServingReport:
-    """Aggregate outcome of one queue drain."""
+    """Aggregate outcome of one queue drain (or scheduler run)."""
 
     requests: list = field(default_factory=list)
     batches: list = field(default_factory=list)
     plan_cache_stats: dict = field(default_factory=dict)
     #: Simulated time from first batch start to last batch completion.
     makespan_us: float = 0.0
+    #: Which batching policy produced this report: "drain" | "continuous".
+    policy: str = "drain"
+    #: Per-replica utilization (continuous policy; one entry per replica).
+    replica_stats: list = field(default_factory=list)
 
     @property
     def total_tokens(self) -> int:
@@ -182,18 +201,30 @@ class ServingReport:
 
     @property
     def mean_latency_us(self) -> float:
-        lats = [r.latency_us for r in self.requests]
+        """Mean end-to-end latency of *successful* requests.
+
+        Failed (OOM/unsupported) requests never produced output; folding
+        their timings into the SLO metrics would let a fast-failing batch
+        flatter the percentiles.  They are counted in
+        :attr:`failed_requests` instead.
+        """
+        lats = [r.latency_us for r in self.requests if r.ok]
         return float(np.mean(lats)) if lats else 0.0
 
     @property
     def p95_latency_us(self) -> float:
-        lats = [r.latency_us for r in self.requests]
+        lats = [r.latency_us for r in self.requests if r.ok]
         return float(np.percentile(lats, 95)) if lats else 0.0
 
     @property
     def mean_queue_us(self) -> float:
-        qs = [r.queue_us for r in self.requests]
+        qs = [r.queue_us for r in self.requests if r.ok]
         return float(np.mean(qs)) if qs else 0.0
+
+    @property
+    def p95_queue_us(self) -> float:
+        qs = [r.queue_us for r in self.requests if r.ok]
+        return float(np.percentile(qs, 95)) if qs else 0.0
 
     @property
     def total_selection_us(self) -> float:
@@ -221,10 +252,9 @@ class ServingReport:
     def describe(self) -> str:
         sel = self.selection_summary()
         cache = self.plan_cache_stats
-        failed = f"  failed: {self.failed_requests}" if self.failed_requests else ""
         lines = [
             f"requests: {len(self.requests)}  batches: {len(self.batches)}  "
-            f"tokens: {self.total_tokens}{failed}",
+            f"tokens: {self.total_tokens}  failed: {self.failed_requests}",
             f"throughput: {self.throughput_tokens_per_s:,.0f} tok/s "
             f"({self.requests_per_s:.1f} req/s)",
             f"latency: mean {self.mean_latency_us / 1e3:.2f} ms  "
@@ -236,6 +266,13 @@ class ServingReport:
             f"selection: cold {sel['cold_selection_us']:.1f} us/batch, "
             f"steady {sel['warm_selection_us']:.1f} us/batch",
         ]
+        if self.replica_stats:
+            util = "  ".join(
+                f"r{s.replica_id}: {s.utilization * 100:.0f}% "
+                f"({s.batches} batches)"
+                for s in self.replica_stats
+            )
+            lines.append(f"replicas: {len(self.replica_stats)}  {util}")
         return "\n".join(lines)
 
 
@@ -267,17 +304,25 @@ class ServingEngine:
         max_batch_tokens: int = 16384,
         max_batch_size: int = 32,
         devices: int = 1,
+        replicas: int = 1,
+        batch_window_us: Optional[float] = 2000.0,
         enforce_memory: bool = False,
         plan_cache: Optional[PlanCache] = None,
     ):
         if max_batch_tokens < 1 or max_batch_size < 1:
             raise ValueError("batch budgets must be >= 1")
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        if batch_window_us is not None and batch_window_us < 0:
+            raise ValueError("batch_window_us must be >= 0 (or None)")
         self.spec = spec
         self.dtype = dtype
         self.mode = mode
         self.max_batch_tokens = max_batch_tokens
         self.max_batch_size = max_batch_size
         self.devices = devices
+        self.replicas = replicas
+        self.batch_window_us = batch_window_us
         self.enforce_memory = enforce_memory
         self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
         kwargs = {"plan_cache": self.plan_cache} if backend == "PIT" else {}
@@ -285,6 +330,9 @@ class ServingEngine:
         self.tiledb = self.backend.tiledb
         self._queue: list = []
         self._next_id = 0
+        #: Latest arrival time ever submitted; `submit_many` continues from
+        #: here so a second stream never arrives before an already-queued one.
+        self._arrival_clock_us = 0.0
 
     # ------------------------------------------------------------------
     # Admission
@@ -296,13 +344,23 @@ class ServingEngine:
         )
         self._next_id += 1
         self._queue.append(request)
+        self._arrival_clock_us = max(self._arrival_clock_us, arrival_us)
         return request
 
     def submit_many(self, workloads, *, interarrival_us: float = 0.0) -> list:
-        """Enqueue a stream with a fixed inter-arrival gap."""
+        """Enqueue a stream with a fixed inter-arrival gap.
+
+        The stream continues the engine's arrival clock: the first arrival
+        lands one gap after the latest arrival ever submitted (at 0 on a
+        fresh engine), so a second call cannot produce arrivals earlier than
+        already-queued requests.
+        """
+        base = self._arrival_clock_us
+        if self._next_id > 0:
+            base += interarrival_us
         out = []
         for i, w in enumerate(workloads):
-            out.append(self.submit(w, arrival_us=i * interarrival_us))
+            out.append(self.submit(w, arrival_us=base + i * interarrival_us))
         return out
 
     def pending(self) -> int:
@@ -415,54 +473,94 @@ class ServingEngine:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def run(self) -> ServingReport:
-        """Drain the queue: batch, plan, execute, account."""
+    def execute_batch(
+        self, batch, *, batch_id: int, start_us: float, replica_id: int = 0
+    ) -> tuple:
+        """Plan, execute and account one closed batch at ``start_us``.
+
+        Shared by the drain path and the continuous scheduler: resolves the
+        batch's kernel plans through the engine's :class:`PlanCache` (one
+        cache regardless of which replica executes, so a cold search on any
+        replica warms every replica), prices the merged workload on the
+        device model, and returns ``(BatchReport, [RequestReport])``.
+        """
+        workload = merge_workloads([r.workload for r in batch])
+        _, selection_us, hits, misses = self._select_plans(workload)
+        run = run_transformer(
+            workload,
+            self.backend,
+            mode=self.mode,
+            enforce_memory=self.enforce_memory,
+            devices=self.devices,
+        )
+        exec_us = run.latency_ms * 1e3 + selection_us
+        batch_report = BatchReport(
+            batch_id=batch_id,
+            request_ids=[r.request_id for r in batch],
+            tokens=workload.total_tokens,
+            padded_tokens=workload.max_len * workload.batch_size,
+            start_us=start_us,
+            exec_us=exec_us,
+            selection_us=selection_us,
+            cache_hits=hits,
+            cache_misses=misses,
+            run=run,
+            replica_id=replica_id,
+        )
+        share = selection_us / len(batch)
+        request_reports = [
+            RequestReport(
+                request_id=r.request_id,
+                batch_id=batch_id,
+                tokens=r.tokens,
+                arrival_us=r.arrival_us,
+                start_us=start_us,
+                queue_us=start_us - r.arrival_us,
+                exec_us=exec_us,
+                selection_us=share,
+                ok=run.ok,
+                error=run.error,
+            )
+            for r in batch
+        ]
+        return batch_report, request_reports
+
+    def run(self, *, policy: str = "drain") -> ServingReport:
+        """Serve everything queued and return the aggregate report.
+
+        ``policy="drain"`` is the PR-1 compatibility path: batch the whole
+        queue FCFS up front and execute serially on one replica.
+        ``policy="continuous"`` delegates batching and placement to the
+        event-driven :class:`~repro.runtime.scheduler.ContinuousScheduler`
+        (open batches admit arrivals until a budget or the batching window
+        closes them; closed batches place onto the least-loaded of
+        ``self.replicas`` replicas).
+        """
+        if policy == "continuous":
+            from .scheduler import ContinuousScheduler
+
+            requests, self._queue = self._queue, []
+            scheduler = ContinuousScheduler(
+                self,
+                replicas=self.replicas,
+                batch_window_us=self.batch_window_us,
+            )
+            return scheduler.run(requests)
+        if policy != "drain":
+            raise ValueError(
+                f"policy must be drain|continuous, got {policy!r}"
+            )
         requests, self._queue = self._queue, []
-        report = ServingReport()
+        report = ServingReport(policy="drain")
         now = 0.0
         for batch_id, batch in enumerate(self.plan_batches(requests)):
-            workload = merge_workloads([r.workload for r in batch])
-            _, selection_us, hits, misses = self._select_plans(workload)
-            run = run_transformer(
-                workload,
-                self.backend,
-                mode=self.mode,
-                enforce_memory=self.enforce_memory,
-                devices=self.devices,
-            )
-            exec_us = run.latency_ms * 1e3 + selection_us
             start = max(now, max(r.arrival_us for r in batch))
-            now = start + exec_us
-            report.batches.append(
-                BatchReport(
-                    batch_id=batch_id,
-                    request_ids=[r.request_id for r in batch],
-                    tokens=workload.total_tokens,
-                    padded_tokens=workload.max_len * workload.batch_size,
-                    start_us=start,
-                    exec_us=exec_us,
-                    selection_us=selection_us,
-                    cache_hits=hits,
-                    cache_misses=misses,
-                    run=run,
-                )
+            batch_report, request_reports = self.execute_batch(
+                batch, batch_id=batch_id, start_us=start
             )
-            share = selection_us / len(batch)
-            for r in batch:
-                report.requests.append(
-                    RequestReport(
-                        request_id=r.request_id,
-                        batch_id=batch_id,
-                        tokens=r.tokens,
-                        arrival_us=r.arrival_us,
-                        start_us=start,
-                        queue_us=start - r.arrival_us,
-                        exec_us=exec_us,
-                        selection_us=share,
-                        ok=run.ok,
-                        error=run.error,
-                    )
-                )
+            now = start + batch_report.exec_us
+            report.batches.append(batch_report)
+            report.requests.extend(request_reports)
         report.requests.sort(key=lambda r: r.request_id)
         # First batch start to last batch completion: idle time before any
         # work arrives is not held against throughput.

@@ -82,12 +82,19 @@ def run_lineup(
     enforce_memory: bool = True,
     backend_kwargs: Optional[dict] = None,
     devices: int = 1,
+    plan_cache=None,
 ) -> list:
     """Run one workload across several backends; failures become reports.
 
     Backends that do not ship kernels for the requested dtype (MegaBlocks in
     fp32) are reported as unsupported rather than raised, matching how the
     paper's figures simply omit them.
+
+    ``plan_cache`` (a :class:`~repro.core.selection.PlanCache`, e.g.
+    ``PlanCache.shared()``) is threaded to every backend whose constructor
+    accepts one, so repeated lineups — and the serving engines running in
+    the same process — reuse each other's Algorithm 1 outcomes.  An explicit
+    ``backend_kwargs`` entry wins over the threaded cache.
     """
     backend_kwargs = backend_kwargs or {}
     reports = []
@@ -101,7 +108,14 @@ def run_lineup(
                 error=msg,
             )
 
-        kwargs = backend_kwargs.get(name, {})
+        kwargs = dict(backend_kwargs.get(name, {}))
+        if plan_cache is not None and "plan_cache" not in kwargs:
+            try:
+                cls = _resolve_backend(name)
+            except KeyError:
+                cls = None
+            if cls is not None and "plan_cache" in inspect.signature(cls).parameters:
+                kwargs["plan_cache"] = plan_cache
         # Validate kwargs up front: stale kwargs (a renamed or removed
         # constructor argument) must cost one report, not the whole lineup.
         kwargs_error = validate_backend_kwargs(name, kwargs)

@@ -270,6 +270,40 @@ class TestPlanCache:
         assert cache.hits == 1 and cache.misses == 1
 
 
+class TestSharedPlanCache:
+    def teardown_method(self):
+        PlanCache.clear_shared()
+
+    def test_same_name_returns_same_instance(self):
+        a = PlanCache.shared("serving")
+        b = PlanCache.shared("serving")
+        assert a is b
+        assert PlanCache.shared("other") is not a
+
+    def test_parameter_mismatch_raises(self):
+        PlanCache.shared("serving", capacity=64)
+        with pytest.raises(ValueError):
+            PlanCache.shared("serving", capacity=128)
+
+    def test_clear_shared_drops_instances(self):
+        a = PlanCache.shared("serving")
+        PlanCache.clear_shared()
+        assert PlanCache.shared("serving") is not a
+
+    def test_shared_cache_warms_across_engines(self, tiledb):
+        """Two callers naming the same shared cache reuse each other's
+        Algorithm 1 outcomes — the cross-engine analogue of the scheduler's
+        cross-replica warming."""
+        mask = granular_mask((512, 512), (8, 1), 0.95, seed=0)
+        cached_kernel_selection(
+            [mask], 512, 512, 512, tiledb, cache=PlanCache.shared("warm")
+        )
+        cache = PlanCache.shared("warm")
+        assert cache.misses == 1
+        cached_kernel_selection([mask], 512, 512, 512, tiledb, cache=cache)
+        assert cache.hits == 1 and cache.misses == 1
+
+
 class TestCompiler:
     def test_compile_and_run_sparse(self):
         compiler = PITCompiler(V100)

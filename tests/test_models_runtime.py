@@ -210,6 +210,19 @@ class TestTensorParallel:
         # 2-way moves 1.0x the payload per allreduce, 8-way moves 1.75x.
         assert c8 / c2 == pytest.approx(1.75, rel=1e-6)
 
+    def test_replicated_ops_do_not_shard(self):
+        """Megatron-style TP replicates layernorm/residual on every rank at
+        full size; only the weight-bearing matmuls divide by the device
+        count."""
+        wl = bert_workload("mnli", 8, seed=0)
+        one = run_transformer(wl, PyTorchBackend(V100), devices=1)
+        four = run_transformer(wl, PyTorchBackend(V100), devices=4)
+        ops1, ops4 = one.timeline.by_op(), four.timeline.by_op()
+        for op in ("layernorm", "residual"):
+            assert ops4[op] == pytest.approx(ops1[op])
+        for op in ("attn.q", "attn.proj", "ffn.in", "ffn.out", "attn.qk"):
+            assert ops4[op] == pytest.approx(ops1[op] / 4)
+
 
 class TestLineupKwargs:
     def test_stale_kwargs_do_not_abort_lineup(self):
@@ -235,6 +248,27 @@ class TestLineupKwargs:
         error = validate_backend_kwargs("PyTorch", {"nope": 1})
         assert error is not None and "nope" in error
         assert validate_backend_kwargs("NoSuchBackend", {}) is not None
+
+    def test_plan_cache_threads_to_accepting_backends(self):
+        """A lineup-level plan cache reaches backends whose constructor
+        accepts one (PIT) and is silently skipped for those that don't."""
+        from repro.core import PlanCache
+
+        wl = opt_inference_workload("125m", 2, seed=0)
+        cache = PlanCache()
+        reports = run_lineup(
+            wl, ["PyTorch", "PIT"], V100, enforce_memory=False,
+            plan_cache=cache,
+        )
+        assert all(r.ok for r in reports)
+        assert cache.misses > 0  # PIT memoized its plans in the shared cache
+        misses = cache.misses
+        run_lineup(
+            wl, ["PyTorch", "PIT"], V100, enforce_memory=False,
+            plan_cache=cache,
+        )
+        assert cache.misses == misses  # second lineup fully warm
+        assert cache.hits > 0
 
 
 class TestSparseTraining:

@@ -78,6 +78,45 @@ class TestBatching:
         with pytest.raises(ValueError):
             merge_workloads([])
 
+    def test_lone_oversized_request_still_gets_a_batch(self):
+        """A request bigger than the token budget cannot wait forever for a
+        batch it will never fit — it runs alone."""
+        engine = make_engine(max_batch_tokens=64)
+        engine.submit(bert_workload("mnli", 4, seed=0))  # pads to ~184 > 64
+        engine.submit(bert_workload("mnli", 4, seed=1))
+        batches = engine.plan_batches(engine._queue)
+        assert [len(b) for b in batches] == [1, 1]
+        batched = sorted(r.request_id for b in batches for r in b)
+        assert batched == [0, 1]
+
+    def test_interleaved_signatures_accumulate_per_bucket(self):
+        """A B A B A B arrival order yields one batch per signature, not
+        six singletons — the open-batch bucket survives interleaving."""
+        engine = make_engine()
+        for s in range(3):
+            engine.submit(bert_workload("mnli", 2, seed=s))
+            engine.submit(longformer_workload(seq_len=2048, batch_size=1,
+                                              seed=s))
+        batches = engine.plan_batches(engine._queue)
+        assert sorted(len(b) for b in batches) == [3, 3]
+        for batch in batches:
+            assert len({r.batch_signature() for r in batch}) == 1
+
+    def test_size_cap_closes_before_token_budget(self):
+        engine = make_engine(max_batch_tokens=10**9, max_batch_size=2)
+        for s in range(5):
+            engine.submit(bert_workload("mnli", 2, seed=s))
+        batches = engine.plan_batches(engine._queue)
+        assert [len(b) for b in batches] == [2, 2, 1]
+
+    def test_token_budget_closes_before_size_cap(self):
+        # Seeds 0/1/2 pad to 368/660 tokens for 2/3 co-batched requests.
+        engine = make_engine(max_batch_tokens=500, max_batch_size=100)
+        for s in range(3):
+            engine.submit(bert_workload("mnli", 4, seed=s))
+        batches = engine.plan_batches(engine._queue)
+        assert [len(b) for b in batches] == [2, 1]
+
 
 class TestServingRun:
     def test_per_request_reports_sum_to_engine_totals(self):
@@ -171,6 +210,83 @@ class TestServingRun:
         assert (r1.request_id, r2.request_id) == (0, 1)
         report = engine.run()
         assert [r.request_id for r in report.requests] == [0, 1]
+
+
+class TestArrivalClock:
+    def test_submit_many_continues_the_arrival_clock(self):
+        """A second stream must not arrive before already-queued requests."""
+        engine = make_engine()
+        first = engine.submit_many(
+            [bert_workload("mnli", 4, seed=s) for s in range(3)],
+            interarrival_us=1000.0,
+        )
+        second = engine.submit_many(
+            [bert_workload("mnli", 4, seed=s) for s in range(3)],
+            interarrival_us=500.0,
+        )
+        latest_first = max(r.arrival_us for r in first)
+        assert all(r.arrival_us > latest_first for r in second)
+        arrivals = [r.arrival_us for r in first + second]
+        assert arrivals == sorted(arrivals)
+
+    def test_first_stream_starts_at_zero(self):
+        engine = make_engine()
+        out = engine.submit_many(
+            [bert_workload("mnli", 4, seed=s) for s in range(3)],
+            interarrival_us=250.0,
+        )
+        assert [r.arrival_us for r in out] == [0.0, 250.0, 500.0]
+
+    def test_single_submit_advances_the_clock(self):
+        engine = make_engine()
+        engine.submit(bert_workload("mnli", 4, seed=0), arrival_us=9000.0)
+        stream = engine.submit_many(
+            [bert_workload("mnli", 4, seed=1)], interarrival_us=100.0
+        )
+        assert stream[0].arrival_us == pytest.approx(9100.0)
+
+
+class TestFailureMetrics:
+    @staticmethod
+    def _report():
+        from repro.runtime import RequestReport, ServingReport
+
+        report = ServingReport()
+        report.requests = [
+            RequestReport(request_id=0, batch_id=0, tokens=100,
+                          arrival_us=0.0, start_us=100.0, queue_us=100.0,
+                          exec_us=900.0, selection_us=10.0),
+            RequestReport(request_id=1, batch_id=1, tokens=100,
+                          arrival_us=0.0, start_us=300.0, queue_us=300.0,
+                          exec_us=700.0, selection_us=10.0),
+            # A failed (OOM) request with an enormous apparent latency: it
+            # must not leak into the SLO metrics.
+            RequestReport(request_id=2, batch_id=2, tokens=100,
+                          arrival_us=0.0, start_us=1e6, queue_us=1e6,
+                          exec_us=1e6, selection_us=10.0, ok=False,
+                          error="OOM"),
+        ]
+        report.makespan_us = 2000.0
+        return report
+
+    def test_latency_metrics_exclude_failed_requests(self):
+        report = self._report()
+        assert report.mean_latency_us == pytest.approx(1000.0)
+        assert report.p95_latency_us == pytest.approx(1000.0)
+        assert report.mean_queue_us == pytest.approx(200.0)
+        assert report.p95_queue_us == pytest.approx(290.0)
+
+    def test_failed_requests_counted_separately(self):
+        report = self._report()
+        assert report.failed_requests == 1
+        assert report.completed_tokens == 200
+        assert "failed: 1" in report.describe()
+
+    def test_throughput_counts_only_completed_tokens(self):
+        report = self._report()
+        assert report.throughput_tokens_per_s == pytest.approx(
+            200 / (2000.0 / 1e6)
+        )
 
 
 class TestRequestSignatures:
