@@ -78,6 +78,26 @@ def main():
     print()
     print(batch_table(report, "Per-batch breakdown (continuous, 4 replicas)"))
 
+    # A cold continuous run (fresh cache): the scheduler issues each
+    # batch's Algorithm 1 search at batch-open time, so the real search
+    # milliseconds hide behind the batching window and prior compute —
+    # describe() reports the time removed from the critical path.
+    engine = ServingEngine(
+        V100,
+        max_batch_tokens=8192,
+        max_batch_size=8,
+        batch_window_us=3000.0,
+        plan_cache=PlanCache(),
+    )
+    engine.submit_many(mixed_stream(), interarrival_us=2000.0)
+    report = engine.run(policy="continuous")
+    print()
+    print(report.describe())
+    print(
+        f"cold searches overlapped with compute: saved "
+        f"{report.overlap_saved_us / 1e3:.2f} ms"
+    )
+
 
 if __name__ == "__main__":
     main()

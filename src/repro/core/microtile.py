@@ -13,6 +13,7 @@ computation tile expects in shared memory, and the dense tile implementation.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Callable, Optional
 
@@ -81,6 +82,26 @@ def derive_microtile(
     tile_extent = {"m": tile.tm, "k": tile.tk, "n": tile.tn}
     shape = tuple(1 if axis == pit_axis else tile_extent[axis] for axis in axes)
     return MicroTile(shape=shape)
+
+
+def gcd_microtile_shape(shapes) -> tuple:
+    """Per-axis GCD of a set of 2-D micro-tile shapes.
+
+    This is the finest granularity from which every shape's cover grid can
+    be derived by pooled reductions (the base of the cover-grid pyramid);
+    for the mixed row/column micro-tiles of a matmul search it is typically
+    ``(1, 1)`` — the boolean mask itself.
+    """
+    shapes = [tuple(s) for s in shapes]
+    if not shapes:
+        raise ValueError("need at least one micro-tile shape")
+    h = w = 0
+    for a, b in shapes:
+        if a < 1 or b < 1:
+            raise ValueError(f"micro-tile extents must be >= 1, got {(a, b)}")
+        h = math.gcd(h, a)
+        w = math.gcd(w, b)
+    return (h, w)
 
 
 def microtile_layout_for(

@@ -15,6 +15,7 @@ from .serving import (
     RequestReport,
     ServingEngine,
     ServingReport,
+    SpeculativeSelection,
     merge_workloads,
 )
 from .session import (
@@ -36,6 +37,7 @@ __all__ = [
     "ServingEngine",
     "ServingReport",
     "SparseTrainingReport",
+    "SpeculativeSelection",
     "TRAINING_STATE_MULTIPLIER",
     "format_speedups",
     "format_table",

@@ -204,6 +204,31 @@ class TestGroupedMatmulKernel:
         with pytest.raises(ValueError):
             kern.run(np.zeros((4, 4)), np.zeros((2, 4, 4)), np.array([0, 1, 2, 0]))
 
+    def test_bucketing_matches_flatnonzero_reference(self):
+        """The argsort bucketing replaced a per-expert flatnonzero sweep;
+        bucket order, rng stream and outputs must match it bit-for-bit
+        (empty experts included — they must not consume a permutation)."""
+        rng = np.random.default_rng(21)
+        tokens = rng.standard_normal((97, 8))
+        weights = rng.standard_normal((6, 8, 10))
+        assignment = rng.integers(0, 6, size=97)
+        assignment[assignment == 3] = 0  # expert 3 goes empty
+        kern = GroupedMatmulKernel(TileConfig(16, 16, 16), V100)
+        res = kern.run(tokens, weights, assignment, seed=5)
+
+        ref_rng = np.random.default_rng(5)
+        ref = np.zeros((97, 10))
+        counts = []
+        for e in range(6):
+            idx = np.flatnonzero(assignment == e)
+            counts.append(idx.size)
+            if idx.size == 0:
+                continue
+            idx = idx[ref_rng.permutation(idx.size)]
+            ref[idx] = tokens[idx] @ weights[e]
+        np.testing.assert_array_equal(res.output, ref)
+        assert res.report.detail["tokens_per_expert"] == counts
+
     def test_uneven_distribution_costs_by_tiles(self):
         """Cost follows ceil(tokens/tm) per expert — the padding-free claim."""
         kern = GroupedMatmulKernel(TileConfig(32, 32, 32), V100)

@@ -6,12 +6,15 @@ import pytest
 from repro.core import (
     CoverCache,
     MicroTile,
+    SampleStack,
+    batched_matmul_workload,
     count_covering_microtiles,
     cover_grid,
     coverage_waste,
     covered_sparsity,
     dense_matmul_workload,
     derive_microtile,
+    gcd_microtile_shape,
     matmul_microtiled_op,
     matmul_workload,
 )
@@ -138,6 +141,143 @@ class TestTable3CoverMath:
 
     def test_zero_mask_no_waste(self):
         assert coverage_waste(np.zeros((64, 64), dtype=bool), (8, 8)) == 0.0
+
+
+class TestCoverPyramid:
+    """The pyramid-derived grids must equal naive cover_grid bit-for-bit —
+    including non-divisible extents (partial trailing tiles) and the
+    transposed-orientation reuse."""
+
+    def test_property_random_masks_and_shapes(self):
+        rng = np.random.default_rng(42)
+        for trial in range(25):
+            rows = int(rng.integers(1, 180))
+            cols = int(rng.integers(1, 180))
+            mask = rng.random((rows, cols)) < rng.uniform(0.02, 0.4)
+            cache = CoverCache(mask)
+            shapes = [
+                (int(rng.integers(1, 50)), int(rng.integers(1, 50)))
+                for _ in range(8)
+            ]
+            for shape in shapes:
+                np.testing.assert_array_equal(
+                    cache.grid(shape), cover_grid(mask, shape),
+                    err_msg=f"trial {trial} shape {shape} mask {mask.shape}",
+                )
+                np.testing.assert_array_equal(
+                    cache.grid(shape, transposed=True),
+                    cover_grid(mask.T, shape),
+                    err_msg=f"trial {trial} shape {shape} transposed",
+                )
+
+    def test_chained_derivation_through_intermediate_levels(self):
+        """(1, 8) then (1, 16) then (1, 48): the coarser grids derive from
+        the finer ones (including across a non-power-of-two jump) and must
+        still match the from-scratch scan."""
+        rng = np.random.default_rng(3)
+        mask = rng.random((100, 200)) < 0.1
+        cache = CoverCache(mask)
+        for shape in [(1, 8), (1, 16), (1, 48), (4, 16), (8, 48)]:
+            np.testing.assert_array_equal(
+                cache.grid(shape), cover_grid(mask, shape)
+            )
+
+    def test_transposed_grid_is_a_view_not_a_copy(self):
+        """The transposition identity serves the other orientation as a
+        numpy view of the canonical grid — never a second materialization."""
+        mask = np.random.default_rng(5).random((64, 96)) < 0.2
+        cache = CoverCache(mask)
+        canonical = cache.grid((16, 8))
+        flipped = cache.grid((8, 16), transposed=True)
+        assert np.shares_memory(canonical, flipped)
+
+    def test_counts_match_grid_marginals(self):
+        mask = np.random.default_rng(6).random((70, 90)) < 0.15
+        cache = CoverCache(mask)
+        for shape in [(1, 8), (16, 1), (5, 7)]:
+            grid = cover_grid(mask, shape)
+            np.testing.assert_array_equal(
+                cache.col_counts(shape), grid.sum(axis=0)
+            )
+            np.testing.assert_array_equal(
+                cache.row_counts(shape), grid.sum(axis=1)
+            )
+            assert cache.live_rows(shape) == int(grid.any(axis=1).sum())
+            assert cache.num_microtiles(shape) == int(grid.sum())
+
+    def test_pyramid_disabled_matches_naive(self):
+        mask = np.random.default_rng(7).random((33, 61)) < 0.2
+        naive = CoverCache(mask, pyramid=False)
+        fast = CoverCache(mask)
+        for shape in [(1, 4), (4, 1), (3, 3)]:
+            np.testing.assert_array_equal(
+                naive.grid(shape), fast.grid(shape)
+            )
+
+    def test_gcd_microtile_shape(self):
+        assert gcd_microtile_shape([(1, 8), (1, 12)]) == (1, 4)
+        assert gcd_microtile_shape([(8, 1), (1, 8)]) == (1, 1)
+        assert gcd_microtile_shape([(16, 4)]) == (16, 4)
+        with pytest.raises(ValueError):
+            gcd_microtile_shape([])
+        with pytest.raises(ValueError):
+            gcd_microtile_shape([(0, 4)])
+
+
+class TestSampleStack:
+    def test_rejects_empty_and_mismatched(self):
+        with pytest.raises(ValueError):
+            SampleStack([])
+        with pytest.raises(ValueError):
+            SampleStack([np.ones((4, 4), dtype=bool),
+                         np.ones((4, 5), dtype=bool)])
+
+    def test_grids_match_per_sample_cover(self):
+        rng = np.random.default_rng(11)
+        samples = [rng.random((50, 70)) < 0.2 for _ in range(3)]
+        stack = SampleStack(samples)
+        stack.prime([(1, 8), (16, 1), (3, 5)])
+        for shape in [(1, 8), (16, 1), (3, 5)]:
+            grids = stack.grids(shape)
+            tgrids = stack.grids(shape, transposed=True)
+            for s, sample in enumerate(samples):
+                np.testing.assert_array_equal(
+                    grids[s], cover_grid(sample, shape)
+                )
+                np.testing.assert_array_equal(
+                    tgrids[s], cover_grid(sample.T, shape)
+                )
+
+    def test_batched_workload_equals_scalar(self):
+        """The [S, G] vectorized pass must reproduce the per-sample
+        matmul_workload results exactly, in both orientations."""
+        from repro.hw import TileConfig as TC
+
+        rng = np.random.default_rng(13)
+        samples = [rng.random((96, 130)) < p for p in (0.05, 0.2, 0.6)]
+        stack = SampleStack(samples)
+        cases = [
+            (TC(32, 16, 32), "m", "A"),
+            (TC(16, 32, 8), "k", "A"),
+            (TC(32, 16, 32), "n", "B"),
+            (TC(8, 16, 32), "k", "B"),
+        ]
+        for tile, axis, operand in cases:
+            batched = batched_matmul_workload(
+                stack, tile, axis, 64, sparse_operand=operand
+            )
+            for s, sample in enumerate(samples):
+                scalar = matmul_workload(
+                    sample, tile, axis, 64, sparse_operand=operand
+                )
+                assert batched[s] == scalar, (tile, axis, operand, s)
+
+    def test_nnz_per_sample(self):
+        samples = [np.eye(8, dtype=bool), np.ones((8, 8), dtype=bool)]
+        stack = SampleStack(samples)
+        assert stack.nnz.tolist() == [8, 64]
+        assert stack.num_samples == 2
+        assert stack.sample_shape == (8, 8)
 
 
 class TestMatmulWorkload:

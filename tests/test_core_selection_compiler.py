@@ -133,6 +133,83 @@ class TestKernelSelection:
         assert choice.search_time_us > 0
 
 
+class TestFastpathEquivalence:
+    """The pyramid/batched fast path must agree with the legacy per-sample
+    loop: same winning rule, cost and covered sparsity equal to float
+    tolerance — only the search time may differ."""
+
+    def _assert_equivalent(self, fast, slow):
+        assert fast.tile == slow.tile
+        assert fast.pit_axis == slow.pit_axis
+        assert fast.microtile == slow.microtile
+        assert fast.est_cost_us == pytest.approx(slow.est_cost_us, rel=1e-9)
+        assert fast.covered_sparsity == pytest.approx(
+            slow.covered_sparsity, rel=1e-9, abs=1e-12
+        )
+
+    @pytest.mark.parametrize(
+        "granularity,sparsity",
+        [((1, 1), 0.99), ((8, 1), 0.95), ((1, 8), 0.9), ((4, 4), 0.8)],
+    )
+    def test_sparse_a(self, tiledb, granularity, sparsity):
+        masks = [
+            granular_mask((256, 512), granularity, sparsity, seed=s)
+            for s in range(3)
+        ]
+        fast = kernel_selection(masks, 256, 512, 384, tiledb)
+        slow = kernel_selection(masks, 256, 512, 384, tiledb, fastpath=False)
+        self._assert_equivalent(fast, slow)
+
+    def test_sparse_b(self, tiledb):
+        masks = [granular_mask((512, 256), (1, 4), 0.95, seed=s)
+                 for s in range(2)]
+        fast = kernel_selection(
+            masks, 128, 512, 256, tiledb, sparse_operand="B"
+        )
+        slow = kernel_selection(
+            masks, 128, 512, 256, tiledb, sparse_operand="B", fastpath=False
+        )
+        self._assert_equivalent(fast, slow)
+
+    def test_dense_fallback_agrees(self, tiledb):
+        mask = np.ones((256, 256), dtype=bool)
+        fast = kernel_selection([mask], 256, 256, 256, tiledb)
+        slow = kernel_selection([mask], 256, 256, 256, tiledb, fastpath=False)
+        assert fast.is_dense_fallback and slow.is_dense_fallback
+        assert fast.tile == slow.tile
+
+    def test_profile_hook_reports_per_rule_timing(self, tiledb):
+        mask = granular_mask((256, 256), (8, 1), 0.95)
+        profile = {}
+        kernel_selection([mask], 256, 256, 256, tiledb, profile=profile)
+        assert profile["fastpath"] is True
+        assert profile["num_samples"] == 1
+        assert profile["num_rules"] == len(profile["rules"]) == 2 * len(tiledb)
+        assert all(r["eval_us"] >= 0 for r in profile["rules"])
+        assert profile["total_us"] >= sum(r["eval_us"] for r in profile["rules"]) * 0.5
+        # The winning candidate's mean cost is the reported est_cost unless
+        # the dense fallback won.
+        assert min(r["mean_cost_us"] for r in profile["rules"]) > 0
+
+
+class TestSignatureSinglePass:
+    def test_matches_three_pass_reference(self):
+        """The fused per-sample reduction must reproduce the original
+        three-scan statistics exactly — signatures key the PlanCache, so a
+        drifting value would silently split cached plans."""
+        rng = np.random.default_rng(17)
+        for _ in range(10):
+            s = rng.random((63, 41)) < rng.uniform(0.0, 0.5)
+            q = 0.05
+            qinv = 1.0 / q
+            ref = (
+                int(round(float(np.mean([s.mean()])) * qinv)),
+                int(round(float(np.mean([s.any(axis=1).mean()])) * qinv)),
+                int(round(float(np.mean([s.any(axis=0).mean()])) * qinv)),
+            )
+            assert sparsity_signature([s], quantum=q) == ref
+
+
 class _NoRulesTileDB:
     """A tile database whose rule enumeration comes up empty — the shape of
     the regression: ``best`` stayed None and ``best.pit_axis`` crashed."""

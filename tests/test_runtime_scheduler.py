@@ -30,8 +30,12 @@ class TestWindowClosure:
 
     def test_window_deadline_closes_the_batch(self):
         """An arrival after the window lands in a fresh batch even though
-        budget and size cap would have admitted it."""
-        engine = make_engine(batch_window_us=1000.0)
+        budget and size cap would have admitted it.
+
+        Overlap is disabled so close time equals compute start: with the
+        speculative search on, a cold batch starts when the search tail
+        finishes (asserted separately in TestSelectionOverlap)."""
+        engine = make_engine(batch_window_us=1000.0, overlap_selection=False)
         engine.submit(bert_workload("mnli", 4, seed=0), arrival_us=0.0)
         engine.submit(bert_workload("mnli", 4, seed=1), arrival_us=1500.0)
         report = engine.run(policy="continuous")
@@ -59,8 +63,10 @@ class TestWindowClosure:
 
     def test_size_cap_closes_immediately(self):
         """A full batch dispatches at the filling arrival — waiting out the
-        window could only add queueing delay."""
-        engine = make_engine(max_batch_size=2, batch_window_us=50000.0)
+        window could only add queueing delay.  (Overlap off: the start-time
+        assertion needs close time == compute start on a cold cache.)"""
+        engine = make_engine(max_batch_size=2, batch_window_us=50000.0,
+                             overlap_selection=False)
         for s in range(4):
             engine.submit(bert_workload("mnli", 4, seed=s),
                           arrival_us=s * 100.0)
@@ -71,8 +77,11 @@ class TestWindowClosure:
 
     def test_budget_saturated_batch_closes_immediately(self):
         """A lone request already over the token budget cannot ever admit a
-        partner — it must dispatch at arrival, not wait out the window."""
-        engine = make_engine(max_batch_tokens=64, batch_window_us=5000.0)
+        partner — it must dispatch at arrival, not wait out the window.
+        (Overlap off: the start-time assertion needs close time == compute
+        start on a cold cache.)"""
+        engine = make_engine(max_batch_tokens=64, batch_window_us=5000.0,
+                             overlap_selection=False)
         # bert mnli batch 4 pads to ~184 tokens, over the 64-token budget.
         engine.submit(bert_workload("mnli", 4, seed=0), arrival_us=100.0)
         report = engine.run(policy="continuous")
@@ -270,6 +279,81 @@ class TestAccounting:
         first = min(b.start_us for b in report.batches)
         last = max(b.start_us + b.exec_us for b in report.batches)
         assert report.makespan_us == pytest.approx(last - first)
+
+
+class TestSelectionOverlap:
+    def _stream(self, engine):
+        engine.submit(bert_workload("mnli", 4, seed=0), arrival_us=0.0)
+        engine.submit(bert_workload("mnli", 4, seed=1), arrival_us=500.0)
+        engine.submit(bert_workload("cola", 4, seed=2), arrival_us=700.0)
+
+    def test_cold_trace_saves_time(self):
+        """A cold-heavy trace overlaps its Algorithm 1 searches with the
+        open batching window / prior compute: the report must show a
+        strictly positive saving, attributed to the replicas."""
+        engine = make_engine(batch_window_us=1000.0)
+        self._stream(engine)
+        report = engine.run(policy="continuous")
+        assert report.overlap_saved_us > 0
+        assert sum(
+            s.overlap_saved_us for s in report.replica_stats
+        ) == pytest.approx(report.overlap_saved_us)
+        assert sum(
+            b.overlap_saved_us for b in report.batches
+        ) == pytest.approx(report.overlap_saved_us)
+        assert "overlap" in report.describe()
+
+    def test_warm_trace_saves_exactly_zero(self):
+        """When every signature hits the plan cache there is no search to
+        hide — the saving must be exactly zero, not merely small."""
+        cache = PlanCache()
+        for _ in range(2):
+            engine = make_engine(batch_window_us=1000.0, plan_cache=cache)
+            self._stream(engine)
+            report = engine.run(policy="continuous")
+        assert all(b.cache_misses == 0 for b in report.batches)
+        assert report.overlap_saved_us == 0.0
+
+    def test_cold_batch_waits_for_its_search_tail(self):
+        """Compute cannot start before the speculatively issued search
+        finishes: ``start = max(close, issue + search)`` and the saving is
+        ``min(window, search)`` — the search hid behind the open window."""
+        engine = make_engine(batch_window_us=800.0)
+        engine.submit(bert_workload("mnli", 4, seed=0), arrival_us=0.0)
+        report = engine.run(policy="continuous")
+        batch = report.batches[0]
+        assert batch.start_us >= 800.0  # never before the batch closes
+        if batch.start_us > 800.0:
+            # The search outlived the window: the whole window was hidden.
+            assert batch.overlap_saved_us == pytest.approx(800.0)
+        else:
+            # The search fit inside the window: all of it was hidden.
+            assert 0.0 < batch.overlap_saved_us <= 800.0
+
+    def test_overlap_disabled_restores_serial_accounting(self):
+        engine = make_engine(batch_window_us=1000.0, overlap_selection=False)
+        self._stream(engine)
+        report = engine.run(policy="continuous")
+        assert report.overlap_saved_us == 0.0
+        # Serial accounting: the cold search is inside exec, and batches
+        # start at their close time.
+        cold = [b for b in report.batches if b.cache_misses > 0]
+        assert cold and all(b.exec_us >= b.selection_us for b in cold)
+
+    def test_speculation_counts_fold_into_batch_stats(self):
+        """The open-time speculative lookups are attributed to the batch:
+        a cold batch still reports cache_misses > 0 even though the merged
+        workload resolved with hits at close time."""
+        engine = make_engine(batch_window_us=500.0)
+        engine.submit(bert_workload("mnli", 4, seed=0), arrival_us=0.0)
+        report = engine.run(policy="continuous")
+        assert report.batches[0].cache_misses > 0
+
+    def test_drain_policy_reports_zero_overlap(self):
+        engine = make_engine()
+        engine.submit(bert_workload("mnli", 4, seed=0))
+        report = engine.run(policy="drain")
+        assert report.overlap_saved_us == 0.0
 
 
 class TestSchedulerValidation:
