@@ -38,11 +38,15 @@ def main():
     b = rng.standard_normal((k, n))
 
     # ------------------------------------------------------------------
-    # 3. Compile: Algorithm 1 picks the PIT-axis, micro-tile and dense tile.
+    # 3. Compile: describe the plan as a PlanSpec (shape + quantized
+    #    sparsity signature), then Algorithm 1 picks the PIT-axis,
+    #    micro-tile and dense tile for it.
     # ------------------------------------------------------------------
     compiler = PITCompiler(V100, "float32")
-    compiled = compiler.compile_matmul([mask], m, k, n)
-    print(f"\nselected:  {compiled.choice.describe()}")
+    spec = compiler.plan_spec([mask], m, k, n)
+    compiled = compiler.compile(spec, [mask])
+    print(f"\nplan spec: {spec.describe()}")
+    print(f"selected:  {compiled.choice.describe()}")
     print(f"covered sparsity after micro-tiling: "
           f"{compiled.choice.covered_sparsity * 100:.2f}%")
 

@@ -23,6 +23,7 @@ import numpy as np
 
 from ..core.cover import CoverCache
 from ..core.detector import index_construction_time_us
+from ..core.plan import Planner, PlanSpec
 from ..hw.costmodel import elementwise_time_us
 from ..hw.memtracker import MemoryTracker
 from ..hw.spec import dtype_bytes
@@ -50,8 +51,14 @@ class PITBackend(ModelBackend):
         #: Cached activation-sparsity workloads keyed by (tokens, d_ff, pct).
         #: When a shared :class:`~repro.core.selection.PlanCache` is supplied
         #: (the serving engine constructs one backend per batch), the memo
-        #: lives there instead and survives across backend instances.
+        #: lives in a :class:`~repro.core.plan.Planner` over that cache
+        #: instead — keyed by ``ffn-act`` :class:`PlanSpec`\\ s, so it
+        #: survives across backend instances *and* process restarts via
+        #: ``PlanCache.save``/``load``.
         self.plan_cache = plan_cache
+        self.planner = (
+            Planner(self.tiledb, plan_cache) if plan_cache is not None else None
+        )
         self._act_cache: dict = {}
         #: Sparse-structure kinds already detected this run: the token mask
         #: and the attention mask are each detected *once per batch* and the
@@ -126,24 +133,29 @@ class PITBackend(ModelBackend):
         over a ReLU activation mask.  Sampled once per configuration — the
         cover fraction concentrates tightly for i.i.d.-ish masks."""
         key = (min(tokens, 2048), d_ff, round(sparsity, 4))
-        memo = self._act_cache
-        if self.plan_cache is not None:
-            plan_key = ("act-cover", self.dtype, self.MICRO_W) + key
-            shared = self.plan_cache.get(plan_key)
-            if shared is not None:
-                covered, micro_per_row = shared
-                return covered, int(micro_per_row * tokens)
-        if key not in memo:
+
+        def compute():
             sample_rows = key[0]
             mask = relu_activation_mask(sample_rows, d_ff, sparsity, seed=seed)
-            cache = CoverCache(mask)
-            grid = cache.grid((1, self.MICRO_W))
+            grid = CoverCache(mask).grid((1, self.MICRO_W))
             covered = float(grid.sum()) / max(1, grid.size)
-            micro_per_row = grid.sum() / max(1, sample_rows)
-            memo[key] = (covered, micro_per_row)
-            if self.plan_cache is not None:
-                self.plan_cache.put(plan_key, memo[key])
-        covered, micro_per_row = memo[key]
+            micro_per_row = float(grid.sum()) / max(1, sample_rows)
+            return (covered, micro_per_row)
+
+        if self.planner is not None:
+            spec = PlanSpec(
+                kind="ffn-act",
+                m=key[0],
+                k=d_ff,
+                n=self.MICRO_W,
+                signature=("cover", key[2]),
+                tiledb_key=self.tiledb.cache_key,
+            )
+            covered, micro_per_row = self.planner.memo(spec, compute)
+            return covered, int(micro_per_row * tokens)
+        if key not in self._act_cache:
+            self._act_cache[key] = compute()
+        covered, micro_per_row = self._act_cache[key]
         return covered, int(micro_per_row * tokens)
 
     def ffn(

@@ -1,21 +1,26 @@
 """PIT compiler front-end (Figure 5's architecture, end to end).
 
 ``PITCompiler`` ties the pieces together the way the runtime in Section 3
-does: given sparsity samples of a dynamic operator it runs the transformation
-policy (Algorithm 1 kernel selection over the TileDB), JIT-"generates" the
-sparse kernel for the winning rule, and returns a :class:`CompiledMatmul`
-whose ``run`` detects sparsity online and executes with SRead/SWrite.
+does: given a :class:`~repro.core.plan.PlanSpec` (or sparsity samples to
+derive one from) it resolves the kernel plan through the shared
+:class:`~repro.core.plan.Planner` — Algorithm 1 over the TileDB, memoized on
+the spec — JIT-"generates" the sparse kernel for the winning rule, and
+returns a :class:`CompiledMatmul` whose ``run`` detects sparsity online and
+executes with SRead/SWrite.
 
-Compiled kernels are cached per (shape, dtype, operand) — the *kernel* is
-reused across invocations even though every invocation sees a different
-sparsity pattern; only the cheap online index is rebuilt.  (Figure 20 shows
-why caching per *pattern* would be useless: patterns almost never repeat.)
-The policy can be periodically refreshed with new samples, mirroring the
+Compiled kernels are cached per *spec* — shape, operand **and** quantized
+sparsity signature — so two sparsity regimes of one shape each keep their
+own kernel (the old shape-only cache silently served whichever compiled
+first).  The kernel is still reused across invocations even though every
+invocation sees a different exact pattern; only the cheap online index is
+rebuilt (Figure 20 shows why caching per *pattern* would be useless).  The
+policy can be periodically refreshed with new samples, mirroring the
 "Sparse Tensor Samples / Periodically" arrow of Figure 5.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Optional
 
@@ -28,12 +33,8 @@ from .kernels import (
     SparseMatmulKernel,
     kernel_from_choice,
 )
-from .selection import (
-    KernelChoice,
-    PlanCache,
-    cached_kernel_selection,
-    kernel_selection,
-)
+from .plan import Planner, PlanSpec
+from .selection import KernelChoice, PlanCache
 from .tiledb import TileDB
 
 
@@ -47,6 +48,8 @@ class CompiledMatmul:
     choice: KernelChoice
     kernel: object  # SparseMatmulKernel | DenseMatmulKernel
     sparse_operand: str
+    #: The spec this kernel was compiled for (None for hand-built instances).
+    spec: Optional[PlanSpec] = None
 
     def run(self, a: np.ndarray, b: np.ndarray, *, mask=None, seed: int = 0) -> KernelResult:
         """Execute with online sparsity detection on the current input."""
@@ -81,11 +84,70 @@ class PITCompiler:
         self.tiledb = TileDB.shared(
             spec, dtype, tensor_core=tensor_core, max_tiles=max_tiles
         )
-        #: Optional shared memo of Algorithm 1 outcomes: when set, selection
-        #: is keyed on the quantized sparsity signature so statistically
-        #: alike sample sets skip the search entirely.
-        self.plan_cache = plan_cache
-        self._cache: dict = {}
+        #: The single Algorithm 1 entry point.  When a shared
+        #: :class:`PlanCache` is supplied (the serving engine threads one
+        #: through compiler, backend and scheduler) selection outcomes are
+        #: shared across all of them; otherwise the planner owns a private
+        #: cache so statistically alike sample sets still skip the search.
+        self.planner = Planner(self.tiledb, plan_cache)
+        self.plan_cache = self.planner.cache
+        self._cache: dict = {}  # PlanSpec -> CompiledMatmul
+
+    def plan_spec(
+        self,
+        sparsity_samples,
+        m: int,
+        k: int,
+        n: int,
+        *,
+        sparse_operand: str = "A",
+        kind: str = "proj",
+    ) -> PlanSpec:
+        """The :class:`PlanSpec` these samples of an ``[m,k,n]`` matmul name."""
+        return self.planner.make_spec(
+            kind, sparsity_samples, m, k, n, sparse_operand=sparse_operand
+        )
+
+    def compile(
+        self,
+        spec: PlanSpec,
+        sparsity_samples=None,
+        *,
+        use_cache: bool = True,
+    ) -> CompiledMatmul:
+        """Resolve ``spec`` through the planner and instantiate its kernel.
+
+        ``sparsity_samples`` are only consulted when the plan is not cached
+        (Algorithm 1 needs masks to search over); a warm spec compiles
+        without touching a mask.
+        """
+        if use_cache:
+            hit = self._cache.get(spec)
+            if hit is not None:
+                return hit
+        make_samples = (
+            (lambda: sparsity_samples) if sparsity_samples is not None else None
+        )
+        resolved = self.planner.resolve(spec, make_samples)
+        kernel = kernel_from_choice(
+            resolved.choice,
+            self.spec,
+            self.dtype,
+            sparse_operand=spec.sparse_operand,
+            tensor_core=self.tensor_core,
+        )
+        compiled = CompiledMatmul(
+            m=spec.m,
+            k=spec.k,
+            n=spec.n,
+            choice=resolved.choice,
+            kernel=kernel,
+            sparse_operand=spec.sparse_operand,
+            spec=spec,
+        )
+        if use_cache:
+            self._cache[spec] = compiled
+        return compiled
 
     def compile_matmul(
         self,
@@ -97,38 +159,27 @@ class PITCompiler:
         sparse_operand: str = "A",
         use_cache: bool = True,
     ) -> CompiledMatmul:
-        """Select a kernel with Algorithm 1 and instantiate it.
+        """Deprecated: build a :class:`PlanSpec` and call :meth:`compile`.
 
-        ``sparsity_samples``: recent masks of the sparse operand (the online
-        sparsity detector feeds these in the deployed system).
+        Kept for one release of compatibility.  The replacement::
+
+            spec = compiler.plan_spec(samples, m, k, n)
+            compiled = compiler.compile(spec, samples)
+
+        fixes the old sparsity-blind behaviour: the compile cache is keyed
+        on the spec (shape **and** quantized sparsity signature), so two
+        sparsity regimes of one shape no longer share a kernel.
         """
-        cache_key = (m, k, n, sparse_operand)
-        if use_cache and cache_key in self._cache:
-            return self._cache[cache_key]
-
-        if self.plan_cache is not None:
-            choice = cached_kernel_selection(
-                sparsity_samples, m, k, n, self.tiledb,
-                sparse_operand=sparse_operand, cache=self.plan_cache,
-            )
-        else:
-            choice = kernel_selection(
-                sparsity_samples, m, k, n, self.tiledb,
-                sparse_operand=sparse_operand,
-            )
-        kernel = kernel_from_choice(
-            choice,
-            self.spec,
-            self.dtype,
-            sparse_operand=sparse_operand,
-            tensor_core=self.tensor_core,
+        warnings.warn(
+            "PITCompiler.compile_matmul is deprecated; build a PlanSpec with "
+            "PITCompiler.plan_spec and call PITCompiler.compile",
+            DeprecationWarning,
+            stacklevel=2,
         )
-        compiled = CompiledMatmul(
-            m=m, k=k, n=n, choice=choice, kernel=kernel, sparse_operand=sparse_operand
+        spec = self.plan_spec(
+            sparsity_samples, m, k, n, sparse_operand=sparse_operand
         )
-        if use_cache:
-            self._cache[cache_key] = compiled
-        return compiled
+        return self.compile(spec, sparsity_samples, use_cache=use_cache)
 
     def refresh(
         self,
@@ -137,18 +188,23 @@ class PITCompiler:
     ) -> CompiledMatmul:
         """Re-run selection with fresh samples (Figure 5's periodic update).
 
-        Returns a new compiled kernel (and replaces the cache entry) — the
-        previous one stays valid for in-flight work.
+        Returns the compiled kernel for the new samples' spec and installs
+        it in the compile cache — the previous kernel stays valid (and
+        cached under its own spec) for in-flight work.  When the fresh
+        samples quantize to the same signature the plan is unchanged by
+        construction and the cached choice is reused.
         """
-        fresh = self.compile_matmul(
+        kind = compiled.spec.kind if compiled.spec is not None else "proj"
+        spec = self.planner.make_spec(
+            kind,
             new_samples,
             compiled.m,
             compiled.k,
             compiled.n,
             sparse_operand=compiled.sparse_operand,
-            use_cache=False,
         )
-        self._cache[(compiled.m, compiled.k, compiled.n, compiled.sparse_operand)] = fresh
+        fresh = self.compile(spec, new_samples, use_cache=False)
+        self._cache[spec] = fresh
         return fresh
 
     def cache_size(self) -> int:

@@ -48,6 +48,64 @@ def _operand_mask(tensor: np.ndarray, mask) -> np.ndarray:
     return tensor != 0
 
 
+def tile_to_json(tile) -> list:
+    """Canonical JSON field list of a :class:`TileConfig` — the one place
+    that knows the field order, shared by the choice serializer here and
+    the tagged plan-cache codec in :mod:`repro.core.plan`."""
+    return [tile.tm, tile.tk, tile.tn]
+
+
+def tile_from_json(data) -> TileConfig:
+    return TileConfig(*data)
+
+
+def microtile_to_json(micro) -> list:
+    """Canonical JSON field list of a :class:`MicroTile` (see
+    :func:`tile_to_json`)."""
+    return list(micro.shape)
+
+
+def microtile_from_json(data) -> MicroTile:
+    return MicroTile(shape=tuple(data))
+
+
+def choice_to_json(choice) -> dict:
+    """Encode a :class:`~repro.core.selection.KernelChoice` as plain JSON data.
+
+    Plans are checkpointable artifacts: a choice serialized here and revived
+    with :func:`choice_from_json` compares equal field-for-field, names the
+    same kernel through :func:`kernel_from_choice`, and therefore prices and
+    executes identically — the property the persistent
+    :class:`~repro.core.selection.PlanCache` rests on.
+    """
+    tile = choice.tile
+    micro = choice.microtile
+    return {
+        "tile": tile_to_json(tile) if tile is not None else None,
+        "pit_axis": choice.pit_axis,
+        "microtile": microtile_to_json(micro) if micro is not None else None,
+        "est_cost_us": choice.est_cost_us,
+        "covered_sparsity": choice.covered_sparsity,
+        "search_time_us": choice.search_time_us,
+    }
+
+
+def choice_from_json(data: dict):
+    """Inverse of :func:`choice_to_json`."""
+    from .selection import KernelChoice  # lazy: kernels stays import-light
+
+    tile = data["tile"]
+    micro = data["microtile"]
+    return KernelChoice(
+        tile=tile_from_json(tile) if tile is not None else None,
+        pit_axis=data["pit_axis"],
+        microtile=microtile_from_json(micro) if micro is not None else None,
+        est_cost_us=data["est_cost_us"],
+        covered_sparsity=data["covered_sparsity"],
+        search_time_us=data["search_time_us"],
+    )
+
+
 class DenseMatmulKernel:
     """The dense fallback: no rearrangement, every tile executes."""
 

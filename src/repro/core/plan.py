@@ -1,0 +1,342 @@
+"""The unified planning API: one serializable plan surface for Algorithm 1.
+
+PIT's central claim is that the kernel choice for a dynamically sparse
+operator is a *pure function* of the op shape plus the observed sparsity
+pattern (Algorithm 1, Section 3.2).  Every layer of this repo that wants a
+plan — the JIT compiler, the model backend, the serving engine — therefore
+asks the same question, and this module gives the question itself a name:
+
+* :class:`PlanSpec` — a frozen, hashable, JSON-round-trippable description
+  of "the plan I need": op kind, problem dims, sparse operand, the quantized
+  sparsity signature, and the identity of the tile database the plan must be
+  valid against.  The spec *is* the cache key.
+* :class:`Planner` — the single entry point for Algorithm 1.
+  ``Planner.resolve(spec, make_samples)`` returns a :class:`ResolvedPlan`
+  (the :class:`~repro.core.selection.KernelChoice` plus provenance: cache
+  hit or miss, measured search time, the spec itself).  Samples are only
+  materialized on a miss, which is what keeps the steady state at
+  dictionary-lookup cost.
+* a JSON codec (:func:`encode_value` / :func:`decode_value`) for every
+  object that appears in plan-cache keys and values, so a
+  :class:`~repro.core.selection.PlanCache` can be persisted with
+  ``save(path)`` and revived in a *different process* with ``load(path)`` —
+  a warm cache survives restarts and a freshly constructed engine serves
+  identical traffic with zero cold searches.
+
+In the spirit of PermLLM's observation that permutation/selection decisions
+should be first-class, checkpointable artifacts rather than transient search
+state, plans here are data, not side effects.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..hw.costmodel import TileConfig
+from ..hw.spec import GPUSpec
+from .kernels import (
+    choice_from_json,
+    choice_to_json,
+    microtile_from_json,
+    microtile_to_json,
+    tile_from_json,
+    tile_to_json,
+)
+from .microtile import MicroTile
+from .selection import KernelChoice, PlanCache, kernel_selection, sparsity_signature
+from .tiledb import TileDB
+
+#: The op kinds a serving-path plan can describe.  ``proj`` is the token
+#: gather projection (m-axis over padded rows), ``ffn-act`` the post-ReLU
+#: activation-sparse second FFN matmul (k-axis), ``attention`` the dynamic
+#: attention-mask cover, and ``moe-grouped`` the grouped expert dispatch of
+#: a merged routing table.
+PLAN_KINDS = ("proj", "ffn-act", "attention", "moe-grouped")
+
+
+# ----------------------------------------------------------------------
+# JSON codec for plan keys and plan values
+# ----------------------------------------------------------------------
+def encode_value(obj):
+    """Encode a plan-cache key or value into JSON-compatible data.
+
+    Tuples, :class:`GPUSpec`, :class:`TileConfig`, :class:`MicroTile` and
+    :class:`KernelChoice` are tagged so :func:`decode_value` can rebuild
+    objects that compare (and hash) equal to the originals — the property
+    cache keys need to survive a process boundary.  Raises ``TypeError``
+    for anything else non-primitive, so callers can skip entries that were
+    never meant to be persisted.
+    """
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, tuple):
+        return {"__tuple__": [encode_value(x) for x in obj]}
+    if isinstance(obj, GPUSpec):
+        return {"__gpuspec__": dataclasses.asdict(obj)}
+    if isinstance(obj, TileConfig):
+        return {"__tile__": tile_to_json(obj)}
+    if isinstance(obj, MicroTile):
+        return {"__microtile__": microtile_to_json(obj)}
+    if isinstance(obj, KernelChoice):
+        return {"__choice__": choice_to_json(obj)}
+    if isinstance(obj, PlanSpec):
+        return {"__planspec__": obj.to_json()}
+    raise TypeError(f"cannot serialize {type(obj).__name__} into a plan dump")
+
+
+def decode_value(data):
+    """Inverse of :func:`encode_value`."""
+    if data is None or isinstance(data, (bool, int, float, str)):
+        return data
+    if isinstance(data, list):  # JSON has no tuples; bare lists stay lists
+        return [decode_value(x) for x in data]
+    if isinstance(data, dict):
+        if "__tuple__" in data:
+            return tuple(decode_value(x) for x in data["__tuple__"])
+        if "__gpuspec__" in data:
+            return GPUSpec(**data["__gpuspec__"])
+        if "__tile__" in data:
+            return tile_from_json(data["__tile__"])
+        if "__microtile__" in data:
+            return microtile_from_json(data["__microtile__"])
+        if "__choice__" in data:
+            return choice_from_json(data["__choice__"])
+        if "__planspec__" in data:
+            return PlanSpec.from_json(data["__planspec__"])
+    raise TypeError(f"cannot decode {data!r} from a plan dump")
+
+
+def _freeze(obj):
+    """Recursively convert lists to tuples so signatures stay hashable."""
+    if isinstance(obj, (list, tuple)):
+        return tuple(_freeze(x) for x in obj)
+    return obj
+
+
+# ----------------------------------------------------------------------
+# PlanSpec
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PlanSpec:
+    """A declarative, serializable description of one needed kernel plan.
+
+    Two specs are interchangeable exactly when they compare equal: same op
+    kind, same problem shape, same sparse operand, same quantized sparsity
+    signature, and same tile-database identity.  The spec is hashable, so
+    it keys caches directly, and JSON-round-trippable
+    (:meth:`to_json`/:meth:`from_json` is an identity), so plans survive
+    process boundaries.
+    """
+
+    kind: str
+    m: int
+    k: int
+    n: int
+    sparse_operand: str = "A"
+    #: Quantized sparsity signature — the statistics Algorithm 1's outcome
+    #: actually depends on, bucketed so invocation noise maps to one spec.
+    signature: tuple = ()
+    #: :attr:`TileDB.cache_key` of the database the plan must be selected
+    #: against; plans are only valid for equal keys.
+    tiledb_key: tuple = ()
+    include_dense_fallback: bool = True
+
+    def __post_init__(self) -> None:
+        if self.kind not in PLAN_KINDS:
+            raise ValueError(
+                f"kind must be one of {PLAN_KINDS}, got {self.kind!r}"
+            )
+        if min(self.m, self.k, self.n) < 1:
+            raise ValueError(
+                f"plan dims must be >= 1, got m={self.m} k={self.k} n={self.n}"
+            )
+        if self.sparse_operand not in ("A", "B"):
+            raise ValueError(
+                f"sparse_operand must be A or B, got {self.sparse_operand!r}"
+            )
+        # Normalize sequences so equality/hashing don't depend on whether a
+        # caller passed a list or a tuple.
+        object.__setattr__(self, "signature", _freeze(self.signature))
+        object.__setattr__(self, "tiledb_key", _freeze(self.tiledb_key))
+
+    @property
+    def sample_shape(self) -> tuple:
+        """Shape the sparsity samples of this spec must have."""
+        return (self.m, self.k) if self.sparse_operand == "A" else (self.k, self.n)
+
+    def cache_key(self) -> tuple:
+        """The :class:`~repro.core.selection.PlanCache` key this spec names.
+
+        Stable across processes: every component is a primitive, a tuple, or
+        a frozen value-compared dataclass (:class:`GPUSpec`).
+        """
+        return (
+            "plan",
+            self.kind,
+            self.m,
+            self.k,
+            self.n,
+            self.sparse_operand,
+            self.signature,
+            self.include_dense_fallback,
+            self.tiledb_key,
+        )
+
+    def to_json(self) -> dict:
+        return {
+            "kind": self.kind,
+            "m": self.m,
+            "k": self.k,
+            "n": self.n,
+            "sparse_operand": self.sparse_operand,
+            "signature": encode_value(self.signature),
+            "tiledb_key": encode_value(self.tiledb_key),
+            "include_dense_fallback": self.include_dense_fallback,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "PlanSpec":
+        return cls(
+            kind=data["kind"],
+            m=data["m"],
+            k=data["k"],
+            n=data["n"],
+            sparse_operand=data["sparse_operand"],
+            signature=decode_value(data["signature"]),
+            tiledb_key=decode_value(data["tiledb_key"]),
+            include_dense_fallback=data["include_dense_fallback"],
+        )
+
+    def describe(self) -> str:
+        return (
+            f"{self.kind}[{self.m}x{self.k}x{self.n}/{self.sparse_operand}] "
+            f"sig={self.signature}"
+        )
+
+
+@dataclass(frozen=True)
+class ResolvedPlan:
+    """A plan plus its provenance: how the Planner arrived at it."""
+
+    spec: PlanSpec
+    choice: KernelChoice
+    #: Whether the plan came out of the cache (False = Algorithm 1 ran).
+    cache_hit: bool
+    #: Measured wall time of this resolve call in microseconds — a lookup
+    #: when warm, the full search when cold (Section 5.5's quantity).
+    search_us: float
+
+    @property
+    def cold(self) -> bool:
+        return not self.cache_hit
+
+
+# ----------------------------------------------------------------------
+# Planner
+# ----------------------------------------------------------------------
+class Planner:
+    """The single entry point for Algorithm 1 over one tile database.
+
+    Every caller that needs a kernel plan — compiler, backend, serving
+    engine — describes it as a :class:`PlanSpec` and resolves it here.  The
+    planner owns the memoization discipline: the spec is the cache key, the
+    samples are only built on a miss, and the outcome carries provenance.
+    """
+
+    def __init__(self, tiledb: TileDB, cache: Optional[PlanCache] = None):
+        self.tiledb = tiledb
+        self.cache = cache if cache is not None else PlanCache()
+
+    def make_spec(
+        self,
+        kind: str,
+        sparsity_samples,
+        m: int,
+        k: int,
+        n: int,
+        *,
+        sparse_operand: str = "A",
+        include_dense_fallback: bool = True,
+        extra_signature: tuple = (),
+    ) -> PlanSpec:
+        """Build the spec for ``sparsity_samples`` of an ``[m,k,n]`` matmul.
+
+        The signature is the quantized sparsity signature of the samples
+        (quantized with the cache's quantum, so specs and cache agree),
+        optionally prefixed with caller-provided discriminators.
+        """
+        sig = sparsity_signature(sparsity_samples, quantum=self.cache.quantum)
+        return PlanSpec(
+            kind=kind,
+            m=m,
+            k=k,
+            n=n,
+            sparse_operand=sparse_operand,
+            signature=tuple(extra_signature) + sig,
+            tiledb_key=self.tiledb.cache_key,
+            include_dense_fallback=include_dense_fallback,
+        )
+
+    def resolve(
+        self, spec: PlanSpec, make_samples: Optional[Callable] = None
+    ) -> ResolvedPlan:
+        """Resolve ``spec`` to a plan: cache lookup, else Algorithm 1.
+
+        ``make_samples`` is a zero-argument callable returning the sparsity
+        samples; it is invoked only on a miss (the steady-state path never
+        touches a mask).  Raises ``ValueError`` when the spec was built
+        against a different tile database — a plan selected over other
+        tiles would silently be wrong here.
+        """
+        if _freeze(spec.tiledb_key) != _freeze(self.tiledb.cache_key):
+            raise ValueError(
+                f"spec was built against tile database {spec.tiledb_key!r}, "
+                f"but this planner serves {self.tiledb.cache_key!r}"
+            )
+        start = time.perf_counter()
+        key = spec.cache_key()
+        choice = self.cache.get(key)
+        hit = choice is not None
+        if not hit:
+            if make_samples is None:
+                raise ValueError(
+                    f"cold resolve of {spec.describe()} needs make_samples "
+                    f"(the plan is not cached and Algorithm 1 has nothing "
+                    f"to search over)"
+                )
+            choice = kernel_selection(
+                make_samples(),
+                spec.m,
+                spec.k,
+                spec.n,
+                self.tiledb,
+                sparse_operand=spec.sparse_operand,
+                include_dense_fallback=spec.include_dense_fallback,
+            )
+            self.cache.put(key, choice)
+        return ResolvedPlan(
+            spec=spec,
+            choice=choice,
+            cache_hit=hit,
+            search_us=(time.perf_counter() - start) * 1e6,
+        )
+
+    def memo(self, spec: PlanSpec, compute: Callable):
+        """Memoize an auxiliary plan artifact under ``spec``.
+
+        Some plan-shaped decisions are not a :class:`KernelChoice` — the
+        PIT backend's activation-cover workload is a (covered fraction,
+        micro-tiles per row) pair — but they are still pure functions of a
+        spec and belong in the same persistent cache.  Entries live under
+        a ``("memo",) + spec.cache_key()`` key so they can never collide
+        with resolved kernel plans.
+        """
+        key = ("memo",) + spec.cache_key()
+        value = self.cache.get(key)
+        if value is None:
+            value = compute()
+            self.cache.put(key, value)
+        return value

@@ -431,6 +431,80 @@ class PlanCache:
             self._entries.popitem(last=False)
             self.evictions += 1
 
+    #: On-disk dump format version; bumped whenever key/value encoding changes.
+    DUMP_FORMAT = 1
+
+    def save(self, path, *, tiledb_key) -> dict:
+        """Persist the cache to ``path`` as JSON.
+
+        ``tiledb_key`` is the :attr:`~repro.core.tiledb.TileDB.cache_key`
+        of the tile database the cached plans were selected against; it is
+        recorded in the dump header so :meth:`load` can refuse a dump that
+        was built over different tiles (such plans would silently misprice).
+
+        Entries whose key or value cannot be serialized (ad-hoc objects a
+        caller memoized) are skipped, not fatal.  Returns
+        ``{"entries": saved, "skipped": skipped}``.
+        """
+        import json
+
+        from .plan import encode_value
+
+        entries = []
+        skipped = 0
+        for key, value in self._entries.items():
+            try:
+                entries.append(
+                    {"key": encode_value(key), "value": encode_value(value)}
+                )
+            except TypeError:
+                skipped += 1
+        payload = {
+            "format": self.DUMP_FORMAT,
+            "capacity": self.capacity,
+            "quantum": self.quantum,
+            "tiledb_key": encode_value(tuple(tiledb_key)),
+            "entries": entries,
+        }
+        with open(path, "w") as f:
+            json.dump(payload, f)
+        return {"entries": len(entries), "skipped": skipped}
+
+    @classmethod
+    def load(cls, path, *, expected_tiledb_key=None) -> "PlanCache":
+        """Revive a cache saved by :meth:`save` (fresh hit/miss counters).
+
+        When ``expected_tiledb_key`` is given, the dump's recorded TileDB
+        identity must match it exactly — a dump built against a different
+        device/dtype/tile budget raises ``ValueError`` instead of silently
+        serving plans that were selected over other tiles.
+        """
+        import json
+
+        from .plan import decode_value
+
+        with open(path) as f:
+            payload = json.load(f)
+        fmt = payload.get("format")
+        if fmt != cls.DUMP_FORMAT:
+            raise ValueError(
+                f"unsupported plan-cache dump format {fmt!r} "
+                f"(this build reads format {cls.DUMP_FORMAT})"
+            )
+        dump_key = decode_value(payload["tiledb_key"])
+        if expected_tiledb_key is not None and dump_key != tuple(expected_tiledb_key):
+            raise ValueError(
+                f"plan-cache dump was built against TileDB {dump_key!r}, "
+                f"which does not match the expected {tuple(expected_tiledb_key)!r}; "
+                f"plans selected over different tiles are not transferable"
+            )
+        cache = cls(payload["capacity"], quantum=payload["quantum"])
+        for entry in payload["entries"]:
+            cache._entries[decode_value(entry["key"])] = decode_value(
+                entry["value"]
+            )
+        return cache
+
     @property
     def hit_rate(self) -> float:
         total = self.hits + self.misses

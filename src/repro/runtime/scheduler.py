@@ -33,6 +33,13 @@ two mechanisms a serving system actually runs:
   the difference is reported as ``overlap_saved_us`` on the batch, the
   replica stats and the serving report.  Warm lookups stay serial (they
   cost a dictionary access), so a fully-warm run reports exactly zero.
+  Every speculative and close-time resolve goes through the engine's
+  :class:`~repro.core.plan.Planner` as a declarative
+  :class:`~repro.core.plan.PlanSpec` — token-projection, activation-FFN,
+  attention and merged-routing MoE plans alike — so the speculation's
+  per-kind cold/warm provenance (``SpeculativeSelection.plan_kinds``)
+  folds into the batch report, and a cache revived with
+  ``PlanCache.load`` keeps the whole loop warm across process restarts.
 
 Execution time stays the analytical device model's simulated latency and
 selection overhead stays measured wall time, exactly as in

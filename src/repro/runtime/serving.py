@@ -23,16 +23,20 @@ aggregate throughput.  Two clocks coexist deliberately:
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Optional
 
 import numpy as np
 
-from ..core.selection import PlanCache, kernel_selection
+from ..core.plan import Planner, PlanSpec
+from ..core.selection import PlanCache
 from ..core.tiledb import TileDB
 from ..hw.spec import GPUSpec
 from ..models.workloads import Workload
 from ..sparsity.activation import relu_activation_mask
+from ..sparsity.attention import MaskStats, representative_attention_mask
+from ..sparsity.moe import merge_routing, routing_sample_mask, routing_signature
 from .engine import RunReport, run_transformer
 from .session import make_backend
 
@@ -58,12 +62,15 @@ class InferenceRequest:
         """Requests sharing a signature may execute in one batch.
 
         Compatible means: same model architecture, same activation-sparsity
-        regime, and attention masks of the same shape whose density agrees
-        to within one quantization bucket (a merged batch is priced with its
-        first member's stats, so members must be statistically alike — the
-        same tolerance the plan cache uses).  MoE workloads never co-batch:
-        their routing tables were drawn for one batch and do not concatenate
-        meaningfully.
+        regime, attention masks of the same shape whose density agrees to
+        within one quantization bucket, and — for MoE workloads — routing
+        tables over the same expert population on the same layers whose
+        load statistics agree to within one bucket.  Merged batches price
+        with merged statistics (:func:`merge_workloads`), so members must
+        be statistically alike — the same tolerance the plan cache uses.
+        MoE routing tables concatenate through
+        :func:`~repro.sparsity.moe.merge_routing`: the grouped kernel's
+        cost follows the total token count, so co-batching is sound.
         """
         from ..core.selection import SIGNATURE_QUANTUM
 
@@ -77,25 +84,84 @@ class InferenceRequest:
                 stats.micro_w,
                 stats.block,
             )
-        if self.workload.routing_by_layer:
-            return (cfg.name, "moe", self.request_id)
-        return (cfg.name, self.workload.act_sparsity, attn_key)
+        moe_key = None
+        routing = self.workload.routing_by_layer
+        if routing:
+            moe_key = (
+                tuple(sorted(routing)),
+                routing_signature(routing.values(), quantum=SIGNATURE_QUANTUM),
+            )
+        return (cfg.name, self.workload.act_sparsity, attn_key, moe_key)
 
 
 def merge_workloads(workloads) -> Workload:
-    """Concatenate compatible workloads' sequences into one batch."""
+    """Concatenate compatible workloads' sequences into one batch.
+
+    The merged batch is priced with *merged* dynamic-sparsity metadata, not
+    the first member's: ``act_sparsity`` is token-weight-averaged,
+    ``attn_stats`` are sequence-weight-averaged
+    (:meth:`~repro.sparsity.attention.MaskStats.merged`) and MoE routing
+    tables concatenate per layer
+    (:func:`~repro.sparsity.moe.merge_routing`).  Irreconcilable metadata —
+    different architectures, an activation-sparse member next to a dense
+    one, mismatched attention shapes, differing MoE layer sets — raises
+    ``ValueError`` instead of being silently dropped.
+    """
     workloads = list(workloads)
     if not workloads:
         raise ValueError("cannot merge zero workloads")
     base = workloads[0]
     if len(workloads) == 1:
         return base
+    for w in workloads[1:]:
+        if w.config != base.config:
+            raise ValueError(
+                f"cannot merge workloads of different models: "
+                f"{base.config.name} vs {w.config.name}"
+            )
     lengths = np.concatenate([np.asarray(w.lengths) for w in workloads])
+
+    sparsities = [w.act_sparsity for w in workloads]
+    if any(s is None for s in sparsities):
+        if any(s is not None for s in sparsities):
+            raise ValueError(
+                "cannot merge workloads where some exploit activation "
+                "sparsity and some do not"
+            )
+        act_sparsity = None
+    else:
+        tokens = np.asarray([w.total_tokens for w in workloads], dtype=float)
+        act_sparsity = float(np.average(sparsities, weights=tokens))
+
+    stats = [w.attn_stats for w in workloads]
+    if any(s is None for s in stats):
+        if any(s is not None for s in stats):
+            raise ValueError(
+                "cannot merge workloads where some carry attention-mask "
+                "statistics and some do not"
+            )
+        attn_stats = None
+    else:
+        attn_stats = MaskStats.merged(
+            stats, weights=[w.batch_size for w in workloads]
+        )
+
+    layer_sets = [frozenset(w.routing_by_layer) for w in workloads]
+    if any(ls != layer_sets[0] for ls in layer_sets[1:]):
+        raise ValueError(
+            "cannot merge MoE workloads routing different layer sets"
+        )
+    routing_by_layer = {
+        layer: merge_routing([w.routing_by_layer[layer] for w in workloads])
+        for layer in base.routing_by_layer
+    }
+
     return Workload(
         config=base.config,
         lengths=lengths,
-        act_sparsity=base.act_sparsity,
-        attn_stats=base.attn_stats,
+        act_sparsity=act_sparsity,
+        attn_stats=attn_stats,
+        routing_by_layer=routing_by_layer,
         seed=base.seed,
     )
 
@@ -120,6 +186,8 @@ class SpeculativeSelection:
     search_us: float
     cache_hits: int
     cache_misses: int
+    #: Plan kind -> whether the speculative resolve was cold for that kind.
+    plan_kinds: dict = field(default_factory=dict)
 
     @property
     def cold(self) -> bool:
@@ -171,6 +239,9 @@ class BatchReport:
     #: batch's cold plan search with the open window / prior compute
     #: (0 for drain batches and for warm batches).
     overlap_saved_us: float = 0.0
+    #: Plan kind (``proj`` | ``ffn-act`` | ``attention`` | ``moe-grouped``)
+    #: -> whether this batch's resolve of that kind was cold.
+    plan_kinds: dict = field(default_factory=dict)
 
     @property
     def size(self) -> int:
@@ -281,12 +352,22 @@ class ServingReport:
                 and b.cache_hits > 0]
         cold_us = float(np.mean(cold)) if cold else 0.0
         warm_us = float(np.mean(warm)) if warm else 0.0
+        by_kind: dict = {}
+        for b in self.batches:
+            for kind, was_cold in b.plan_kinds.items():
+                agg = by_kind.setdefault(kind, {"resolved": 0, "cold": 0})
+                agg["resolved"] += 1
+                agg["cold"] += 1 if was_cold else 0
         return {
             "cold_batches": len(cold),
             "warm_batches": len(warm),
             "cold_selection_us": cold_us,
             "warm_selection_us": warm_us,
             "amortization": (cold_us / warm_us) if warm_us > 0 else float("inf"),
+            #: Per plan kind: how many batches resolved such a plan and how
+            #: many of those resolves were cold (attention and moe-grouped
+            #: plans flow through the same Planner as proj/ffn-act ones).
+            "plans_by_kind": by_kind,
         }
 
     def describe(self) -> str:
@@ -306,6 +387,12 @@ class ServingReport:
             f"selection: cold {sel['cold_selection_us']:.1f} us/batch, "
             f"steady {sel['warm_selection_us']:.1f} us/batch",
         ]
+        if sel["plans_by_kind"]:
+            kinds = "  ".join(
+                f"{kind}: {agg['resolved']} ({agg['cold']} cold)"
+                for kind, agg in sorted(sel["plans_by_kind"].items())
+            )
+            lines.append(f"plans: {kinds}")
         if self.overlap_saved_us > 0:
             lines.append(
                 f"selection/compute overlap: saved "
@@ -332,8 +419,14 @@ class ServingEngine:
     pay the Algorithm 1 search, steady-state batches pay a lookup.
     """
 
-    #: Row/column caps of the representative masks fed to kernel selection;
-    #: selection outcomes concentrate long before the full problem size.
+    #: Fixed row/column extents of the representative masks fed to kernel
+    #: selection; selection outcomes concentrate long before the full
+    #: problem size.  A sample's row count is a *resolution* choice, not a
+    #: property of the plan, so it must not vary with batch composition —
+    #: otherwise the batch-open speculative spec (first request's tokens)
+    #: and the close-time spec (merged tokens) would name different plans,
+    #: defeating both the selection/compute overlap and cache reuse across
+    #: batch compositions.
     SAMPLE_ROWS = 512
     SAMPLE_COLS = 256
     ACT_SAMPLE_ROWS = 256
@@ -377,6 +470,10 @@ class ServingEngine:
         kwargs = {"plan_cache": self.plan_cache} if backend == "PIT" else {}
         self.backend = make_backend(backend, spec, dtype, **kwargs)
         self.tiledb = self.backend.tiledb
+        #: The single Algorithm 1 entry point for every serving-path plan —
+        #: proj, ffn-act, attention and moe-grouped specs all resolve here,
+        #: against the one shared PlanCache.
+        self.planner = Planner(self.tiledb, self.plan_cache)
         self._queue: list = []
         self._next_id = 0
         #: Latest arrival time ever submitted; `submit_many` continues from
@@ -460,7 +557,7 @@ class ServingEngine:
         live rows in proportion to real/padded tokens."""
         padded = workload.max_len * workload.batch_size
         density = workload.total_tokens / max(1, padded)
-        rows = min(max(1, padded), self.SAMPLE_ROWS)
+        rows = self.SAMPLE_ROWS
         cols = min(workload.config.d_model, self.SAMPLE_COLS)
         mask = np.zeros((rows, cols), dtype=bool)
         live = int(round(density * rows))
@@ -472,52 +569,122 @@ class ServingEngine:
 
     def _resolve_plan(self, kind: str, m: int, k: int, n: int, signature,
                       make_samples):
-        """One plan-cache lookup; builds samples and runs Algorithm 1 only
-        on a miss.  The signature is derived from the workload's *summary
-        statistics*, so the steady-state path never touches a mask — that
-        is what keeps a hit at dictionary-lookup cost."""
-        key = self.plan_cache.make_key(
-            m, k, n, "A", (kind,) + tuple(signature), self.tiledb.cache_key
-        )
-        choice = self.plan_cache.get(key)
-        if choice is None:
-            choice = kernel_selection(make_samples(), m, k, n, self.tiledb)
-            self.plan_cache.put(key, choice)
-        return choice
+        """Deprecated: build a :class:`~repro.core.plan.PlanSpec` and call
+        ``self.planner.resolve(spec, make_samples)``.
 
-    def _select_plans(self, workload: Workload) -> tuple:
-        """Resolve the batch's kernel plans through the plan cache.
-
-        Returns ``(plans, wall_us, hits, misses)`` where ``wall_us`` is the
-        *measured* time the lookups/searches took — the serving-side
-        analogue of Section 5.5's online search overhead.
+        Kept for one release of compatibility (the legacy kind ``"act"``
+        maps to ``"ffn-act"``); returns the bare
+        :class:`~repro.core.selection.KernelChoice` like it always did.
         """
-        hits0, misses0 = self.plan_cache.hits, self.plan_cache.misses
+        warnings.warn(
+            "ServingEngine._resolve_plan is deprecated; build a PlanSpec "
+            "and resolve it through ServingEngine.planner",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        kind = {"act": "ffn-act"}.get(kind, kind)
+        spec = PlanSpec(
+            kind=kind, m=m, k=k, n=n, signature=tuple(signature),
+            tiledb_key=self.tiledb.cache_key,
+        )
+        return self.planner.resolve(spec, make_samples).choice
+
+    def _plan_requests(self, workload: Workload):
+        """Yield ``(PlanSpec, make_samples)`` for every plan a batch of this
+        workload needs.
+
+        Specs are derived from the workload's *summary statistics*, so the
+        steady-state path never touches a mask — that is what keeps a hit
+        at dictionary-lookup cost.  ``make_samples`` builds the
+        representative masks Algorithm 1 searches over, invoked only on a
+        miss.  All four serving plan kinds come from here: the token
+        projection, the activation-sparse FFN, the dynamic attention cover
+        and the grouped MoE dispatch over the (merged) routing tables.
+        """
         cfg = workload.config
-        plans = {}
-        start = time.perf_counter()
+        tiledb_key = self.tiledb.cache_key
         padded = workload.max_len * workload.batch_size
         density = workload.total_tokens / max(1, padded)
-        m = min(max(1, padded), self.SAMPLE_ROWS)
+        m = self.SAMPLE_ROWS
         k = min(cfg.d_model, self.SAMPLE_COLS)
-        plans["proj"] = self._resolve_plan(
-            "proj", m, k, k, (self._quantize(density),),
+        yield (
+            PlanSpec(
+                kind="proj", m=m, k=k, n=k,
+                signature=(self._quantize(density),), tiledb_key=tiledb_key,
+            ),
             lambda: [self._token_mask(workload)],
         )
         if workload.act_sparsity is not None:
-            rows = min(max(1, workload.total_tokens), self.ACT_SAMPLE_ROWS)
+            rows = self.ACT_SAMPLE_ROWS
             cols = min(cfg.d_ff, self.ACT_SAMPLE_COLS)
             sparsity = workload.act_sparsity
-            plans["ffn.out"] = self._resolve_plan(
-                "act", rows, cols, k, (self._quantize(1.0 - sparsity),),
+            yield (
+                PlanSpec(
+                    kind="ffn-act", m=rows, k=cols, n=k,
+                    signature=(self._quantize(1.0 - sparsity),),
+                    tiledb_key=tiledb_key,
+                ),
                 lambda: [
                     relu_activation_mask(rows, cols, sparsity, seed=workload.seed)
                 ],
             )
+        if workload.attn_stats is not None:
+            stats = workload.attn_stats
+            arows = min(stats.seq, self.SAMPLE_ROWS)
+            acols = min(stats.seq, self.SAMPLE_ROWS)
+            yield (
+                PlanSpec(
+                    kind="attention", m=arows, k=acols,
+                    n=max(1, cfg.head_dim),
+                    signature=stats.plan_signature(self.plan_cache.quantum),
+                    tiledb_key=tiledb_key,
+                ),
+                lambda: [representative_attention_mask(stats, arows, acols)],
+            )
+        if workload.routing_by_layer:
+            routings = list(workload.routing_by_layer.values())
+            counts = np.sum([np.asarray(r.counts) for r in routings], axis=0)
+            mrows = self.SAMPLE_ROWS
+            yield (
+                PlanSpec(
+                    kind="moe-grouped", m=mrows, k=max(1, int(counts.size)),
+                    n=min(cfg.d_ff, self.ACT_SAMPLE_COLS),
+                    signature=routing_signature(
+                        routings, quantum=self.plan_cache.quantum
+                    ),
+                    tiledb_key=tiledb_key,
+                ),
+                lambda: [routing_sample_mask(counts, mrows)],
+            )
+
+    def _select_plans(self, workload: Workload) -> tuple:
+        """Resolve the batch's kernel plans through the Planner.
+
+        Returns ``(plans, wall_us, hits, misses)``: ``plans`` maps plan
+        kind to its :class:`~repro.core.plan.ResolvedPlan` (choice +
+        provenance) and ``wall_us`` is the *measured* time the
+        lookups/searches took — the serving-side analogue of Section 5.5's
+        online search overhead.
+        """
+        hits0, misses0 = self.plan_cache.hits, self.plan_cache.misses
+        plans = {}
+        start = time.perf_counter()
+        for spec, make_samples in self._plan_requests(workload):
+            plans[spec.kind] = self.planner.resolve(spec, make_samples)
         wall_us = (time.perf_counter() - start) * 1e6
         hits = self.plan_cache.hits - hits0
         misses = self.plan_cache.misses - misses0
         return plans, wall_us, hits, misses
+
+    def save_plan_cache(self, path) -> dict:
+        """Persist this engine's plan cache for a later process.
+
+        A fresh engine constructed with
+        ``PlanCache.load(path, expected_tiledb_key=...)`` serves the same
+        traffic with zero cold searches — every serving-path plan kind is
+        keyed by a serializable :class:`~repro.core.plan.PlanSpec`.
+        """
+        return self.plan_cache.save(path, tiledb_key=self.tiledb.cache_key)
 
     def speculate_plans(
         self, workload: Workload, *, issued_us: float
@@ -531,12 +698,13 @@ class ServingEngine:
         Returns the accounting record the scheduler uses to overlap the
         search with the target replica's prior compute.
         """
-        _, search_us, hits, misses = self._select_plans(workload)
+        plans, search_us, hits, misses = self._select_plans(workload)
         return SpeculativeSelection(
             issued_us=issued_us,
             search_us=search_us,
             cache_hits=hits,
             cache_misses=misses,
+            plan_kinds={kind: plan.cold for kind, plan in plans.items()},
         )
 
     # ------------------------------------------------------------------
@@ -567,13 +735,18 @@ class ServingEngine:
         residual selection stays serial with execution.
         """
         workload = merge_workloads([r.workload for r in batch])
-        _, residual_us, hits, misses = self._select_plans(workload)
+        plans, residual_us, hits, misses = self._select_plans(workload)
+        plan_kinds = {kind: plan.cold for kind, plan in plans.items()}
         selection_us = residual_us
         serial_us = residual_us
         if speculation is not None:
             selection_us += speculation.search_us
             hits += speculation.cache_hits
             misses += speculation.cache_misses
+            # A plan kind was cold for this batch when either the open-time
+            # speculation or the close-time residual paid the search.
+            for kind, was_cold in speculation.plan_kinds.items():
+                plan_kinds[kind] = plan_kinds.get(kind, False) or was_cold
             if not speculation.cold:
                 # Warm speculation is just a pair of lookups; charging it
                 # serially keeps warm-path accounting identical to PR 2.
@@ -598,6 +771,7 @@ class ServingEngine:
             cache_misses=misses,
             run=run,
             replica_id=replica_id,
+            plan_kinds=plan_kinds,
         )
         share = selection_us / len(batch)
         request_reports = [

@@ -62,6 +62,78 @@ class MaskStats:
     def covered_block_elems(self) -> int:
         return self.covered_blocks * self.block * self.block
 
+    def plan_signature(self, quantum: float = 0.05) -> tuple:
+        """Quantized signature of this mask for plan-cache keying (hashable).
+
+        Captures what an attention plan depends on: the sequence extent,
+        the quantized overall density, the quantized micro-cover fraction
+        (how much of the mask the winning micro-tile actually touches) and
+        the cover granularities.  Seed-to-seed mask jitter of one workload
+        maps to the same signature; structural changes (wider windows, more
+        global tokens) move a bucket and genuinely re-plan.
+        """
+        if quantum <= 0:
+            raise ValueError("quantum must be positive")
+        q = 1.0 / quantum
+        cells = max(1, self.seq * ((self.seq + self.micro_w - 1) // self.micro_w))
+        cover = self.covered_micro / cells
+        return (
+            self.seq,
+            int(round(self.density * q)),
+            int(round(cover * q)),
+            self.micro_w,
+            self.block,
+        )
+
+    @classmethod
+    def merged(cls, stats_list, weights=None) -> "MaskStats":
+        """Weighted-average statistics of several same-shape masks.
+
+        A merged serving batch carries one :class:`MaskStats` that prices
+        *per sequence*; averaging the member masks' statistics (weighted by
+        each member's sequence count) keeps the merged batch priced like
+        its population instead of like its first member.  Raises
+        ``ValueError`` on zero inputs or mismatched shapes/granularities —
+        those masks were never batch-compatible.
+        """
+        stats_list = list(stats_list)
+        if not stats_list:
+            raise ValueError("cannot merge zero mask statistics")
+        base = stats_list[0]
+        for s in stats_list[1:]:
+            if (s.seq, s.micro_w, s.block, s.micro_fine_w) != (
+                base.seq, base.micro_w, base.block, base.micro_fine_w
+            ):
+                raise ValueError(
+                    f"cannot merge mask stats over different shapes/"
+                    f"granularities: {(s.seq, s.micro_w, s.block)} vs "
+                    f"{(base.seq, base.micro_w, base.block)}"
+                )
+        if len(stats_list) == 1:
+            return base
+        w = np.asarray(
+            [1.0] * len(stats_list) if weights is None else list(weights),
+            dtype=float,
+        )
+        if w.size != len(stats_list) or w.sum() <= 0:
+            raise ValueError("weights must match stats and sum to > 0")
+        w = w / w.sum()
+
+        def avg(attr):
+            return int(round(float(np.dot(w, [getattr(s, attr) for s in stats_list]))))
+
+        return cls(
+            seq=base.seq,
+            nnz=avg("nnz"),
+            micro_w=base.micro_w,
+            covered_micro=avg("covered_micro"),
+            block=base.block,
+            covered_blocks=avg("covered_blocks"),
+            row_blocks_nonzero=avg("row_blocks_nonzero"),
+            micro_fine_w=base.micro_fine_w,
+            covered_micro_fine=avg("covered_micro_fine"),
+        )
+
     @classmethod
     def from_mask(cls, mask: np.ndarray, *, micro_w: int = 32, block: int = 32):
         """Compute statistics from a materialized mask."""
@@ -121,6 +193,29 @@ def as_mask_stats(attn_mask, *, micro_w: int = 32, block: int = 32) -> MaskStats
     return MaskStats.from_mask(
         np.asarray(attn_mask, dtype=bool), micro_w=micro_w, block=block
     )
+
+
+def representative_attention_mask(
+    stats: MaskStats, rows: int, cols: int
+) -> np.ndarray:
+    """A ``[rows, cols]`` sample mask with the density of ``stats``.
+
+    The serving path plans from summary statistics, never from a raw
+    ``[seq, seq]`` mask; when Algorithm 1 does need something to search
+    over (a cold attention plan), this builds a banded stand-in: each row
+    carries one contiguous run of width ``density * cols`` centred on the
+    scaled diagonal — the dominant structure of windowed/banded dynamic
+    attention.  Deterministic given the stats and sample shape.
+    """
+    if rows < 1 or cols < 1:
+        raise ValueError("sample shape extents must be >= 1")
+    width = max(1, min(cols, int(round(stats.density * cols))))
+    mask = np.zeros((rows, cols), dtype=bool)
+    for i in range(rows):
+        center = int(round(i * (cols - 1) / max(1, rows - 1)))
+        lo = max(0, min(center - width // 2, cols - width))
+        mask[i, lo:lo + width] = True
+    return mask
 
 
 def sliding_window_mask(seq_len: int, window: int) -> np.ndarray:

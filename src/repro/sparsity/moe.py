@@ -74,6 +74,92 @@ class RoutingResult:
         )
 
 
+def merge_routing(results) -> RoutingResult:
+    """Merge several batches' routing tables into one grouped dispatch.
+
+    Routing tables drawn for separate batches concatenate meaningfully at
+    the *grouped-kernel* level: the merged assignment is the concatenation,
+    the per-expert counts add, and the grouped FFN's cost still follows the
+    total token count (the property padding systems lack).  This is what
+    lets a serving engine co-batch MoE requests instead of refusing them.
+
+    Raises ``ValueError`` on zero inputs or mismatched expert counts —
+    tables over different expert populations describe different layers and
+    must never be silently combined.
+    """
+    results = list(results)
+    if not results:
+        raise ValueError("cannot merge zero routing tables")
+    base = results[0]
+    if len(results) == 1:
+        return base
+    num_experts = base.num_experts
+    for r in results[1:]:
+        if r.num_experts != num_experts:
+            raise ValueError(
+                f"cannot merge routing tables over {num_experts} and "
+                f"{r.num_experts} experts"
+            )
+    assignment = np.concatenate([r.assignment for r in results])
+    counts = np.sum([r.counts for r in results], axis=0)
+    probs = np.concatenate([r.probs for r in results], axis=0)
+    return RoutingResult(assignment=assignment, counts=counts, probs=probs)
+
+
+def routing_signature(routings, *, quantum: float = 0.05) -> tuple:
+    """Quantized signature of one or more routing tables (hashable).
+
+    Captures the statistics a grouped-dispatch plan depends on: expert
+    count, quantized load imbalance (max/mean) and quantized live-expert
+    fraction.  Per-batch assignments vary draw to draw, but a trained
+    router's load *shape* is stable — the same property the plan cache
+    exploits for attention masks.
+    """
+    if quantum <= 0:
+        raise ValueError("quantum must be positive")
+    routings = list(routings)
+    if not routings:
+        raise ValueError("routing signature needs at least one routing table")
+    counts = np.sum([np.asarray(r.counts) for r in routings], axis=0)
+    total = counts.sum()
+    mean = counts.mean() if counts.size else 0.0
+    imbalance = float(counts.max() / mean) if mean > 0 else 0.0
+    live = float((counts > 0).mean()) if total > 0 else 0.0
+    q = 1.0 / quantum
+    return (
+        int(counts.size),
+        int(round(imbalance * q)),
+        int(round(live * q)),
+    )
+
+
+def routing_sample_mask(counts, rows: int) -> np.ndarray:
+    """Representative ``[rows, num_experts]`` assignment mask of a routing.
+
+    Row ``i`` marks the expert it would dispatch to, with rows allocated to
+    experts in proportion to the observed per-expert loads (largest experts
+    absorb rounding) — the sparse-operand sample Algorithm 1 searches over
+    for a ``moe-grouped`` plan.  Deterministic given the counts.
+    """
+    counts = np.asarray(counts)
+    if rows < 1:
+        raise ValueError("rows must be >= 1")
+    total = int(counts.sum())
+    if total == 0:
+        share = np.zeros(counts.size, dtype=int)
+        share[0] = rows
+    else:
+        share = np.floor(counts * (rows / total)).astype(int)
+        deficit = rows - int(share.sum())
+        order = np.argsort(-counts)
+        for i in range(deficit):
+            share[order[i % order.size]] += 1
+    mask = np.zeros((rows, counts.size), dtype=bool)
+    row_expert = np.repeat(np.arange(counts.size), share)
+    mask[np.arange(rows), row_expert] = True
+    return mask
+
+
 class Router:
     """A Switch-style top-1 router with controllable imbalance.
 

@@ -342,8 +342,9 @@ class TestPlanCache:
         cache = PlanCache()
         compiler = PITCompiler(V100, plan_cache=cache)
         mask = granular_mask((256, 256), (8, 1), 0.99)
-        compiler.compile_matmul([mask], 256, 256, 256, use_cache=False)
-        compiler.compile_matmul([mask], 256, 256, 256, use_cache=False)
+        spec = compiler.plan_spec([mask], 256, 256, 256)
+        compiler.compile(spec, [mask], use_cache=False)
+        compiler.compile(spec, [mask], use_cache=False)
         assert cache.hits == 1 and cache.misses == 1
 
 
@@ -382,6 +383,11 @@ class TestSharedPlanCache:
 
 
 class TestCompiler:
+    @staticmethod
+    def _compile(compiler, samples, m, k, n, **kwargs):
+        spec = compiler.plan_spec(samples, m, k, n)
+        return compiler.compile(spec, samples, **kwargs)
+
     def test_compile_and_run_sparse(self):
         compiler = PITCompiler(V100)
         rng = np.random.default_rng(0)
@@ -389,7 +395,7 @@ class TestCompiler:
         mask[rng.choice(1024, size=16, replace=False)] = True  # 16 live rows
         a = rng.standard_normal((1024, 1024)) * mask
         b = rng.standard_normal((1024, 512))
-        compiled = compiler.compile_matmul([mask], 1024, 1024, 512)
+        compiled = self._compile(compiler, [mask], 1024, 1024, 512)
         res = compiled.run(a, b, mask=mask)
         np.testing.assert_allclose(res.output, a @ b, atol=1e-10)
         assert isinstance(compiled.kernel, SparseMatmulKernel)
@@ -397,7 +403,7 @@ class TestCompiler:
     def test_dense_fallback_runs(self):
         compiler = PITCompiler(V100)
         mask = np.ones((128, 128), dtype=bool)
-        compiled = compiler.compile_matmul([mask], 128, 128, 128)
+        compiled = self._compile(compiler, [mask], 128, 128, 128)
         assert isinstance(compiled.kernel, DenseMatmulKernel)
         rng = np.random.default_rng(1)
         a, b = rng.standard_normal((128, 128)), rng.standard_normal((128, 128))
@@ -406,24 +412,62 @@ class TestCompiler:
     def test_cache_hits(self):
         compiler = PITCompiler(V100)
         mask = granular_mask((256, 256), (8, 1), 0.99)
-        c1 = compiler.compile_matmul([mask], 256, 256, 256)
-        c2 = compiler.compile_matmul([mask], 256, 256, 256)
+        c1 = self._compile(compiler, [mask], 256, 256, 256)
+        c2 = self._compile(compiler, [mask], 256, 256, 256)
         assert c1 is c2
         assert compiler.cache_size() == 1
+
+    def test_compile_cache_is_sparsity_aware(self):
+        """Two sparsity regimes of one shape keep separate kernels — the
+        old shape-only cache silently served whichever compiled first."""
+        compiler = PITCompiler(V100)
+        sparse = granular_mask((1024, 1024), (8, 1), 0.99)
+        dense = np.ones((1024, 1024), dtype=bool)
+        c_sparse = self._compile(compiler, [sparse], 1024, 1024, 1024)
+        c_dense = self._compile(compiler, [dense], 1024, 1024, 1024)
+        assert c_sparse is not c_dense
+        assert c_dense.choice.is_dense_fallback
+        assert not c_sparse.choice.is_dense_fallback
+        assert compiler.cache_size() == 2
+        # Each regime keeps hitting its own compiled kernel.
+        assert self._compile(compiler, [sparse], 1024, 1024, 1024) is c_sparse
+        assert self._compile(compiler, [dense], 1024, 1024, 1024) is c_dense
 
     def test_refresh_replaces_cache(self):
         compiler = PITCompiler(V100)
         sparse = granular_mask((256, 256), (8, 1), 0.99)
-        c1 = compiler.compile_matmul([sparse], 256, 256, 256)
+        c1 = self._compile(compiler, [sparse], 256, 256, 256)
         dense = np.ones((256, 256), dtype=bool)
         c2 = compiler.refresh(c1, [dense])
         assert c2.choice.is_dense_fallback
-        assert compiler.compile_matmul([sparse], 256, 256, 256) is c2
+        # The refreshed kernel serves its spec; the old spec's kernel stays
+        # valid for in-flight work instead of being clobbered.
+        assert self._compile(compiler, [dense], 256, 256, 256) is c2
+        assert self._compile(compiler, [sparse], 256, 256, 256) is c1
+
+    def test_compile_matmul_shim_warns_and_delegates(self):
+        """One release of compatibility: the legacy entry point still works
+        but routes through the Planner and announces the migration."""
+        compiler = PITCompiler(V100)
+        mask = granular_mask((256, 256), (8, 1), 0.99)
+        with pytest.warns(DeprecationWarning, match="plan_spec"):
+            legacy = compiler.compile_matmul([mask], 256, 256, 256)
+        assert self._compile(compiler, [mask], 256, 256, 256) is legacy
+
+    def test_cold_compile_without_samples_raises(self):
+        compiler = PITCompiler(V100)
+        mask = granular_mask((256, 256), (8, 1), 0.99)
+        spec = compiler.plan_spec([mask], 256, 256, 256)
+        with pytest.raises(ValueError, match="make_samples"):
+            compiler.compile(spec)
+        # Once the plan is cached, compiling without samples is fine.
+        compiler.compile(spec, [mask])
+        assert compiler.compile(spec).choice is not None
 
     def test_estimate_with_fresh_mask(self):
         compiler = PITCompiler(V100)
         mask = granular_mask((1024, 1024), (8, 1), 0.99)
-        compiled = compiler.compile_matmul([mask], 1024, 1024, 1024)
+        compiled = self._compile(compiler, [mask], 1024, 1024, 1024)
         denser = granular_mask((1024, 1024), (8, 1), 0.5, seed=9)
         assert compiled.estimate_us(denser) > compiled.estimate_us(mask)
 

@@ -49,7 +49,8 @@ class TestFullPipeline:
         w2 = rng.standard_normal((d_ff, d_model))
 
         compiler = PITCompiler(V100)
-        compiled = compiler.compile_matmul([act_mask], tokens, d_ff, d_model)
+        spec = compiler.plan_spec([act_mask], tokens, d_ff, d_model)
+        compiled = compiler.compile(spec, [act_mask])
         result = compiled.run(act, w2, mask=act_mask)
         np.testing.assert_allclose(result.output, act @ w2, atol=1e-8)
         assert not compiled.choice.is_dense_fallback
@@ -67,9 +68,8 @@ class TestFullPipeline:
         mask2d = np.repeat(token_mask[:, None], d, axis=1)
 
         compiler = PITCompiler(V100)
-        compiled = compiler.compile_matmul(
-            [mask2d], len(lengths) * max_len, d, d
-        )
+        spec = compiler.plan_spec([mask2d], len(lengths) * max_len, d, d)
+        compiled = compiler.compile(spec, [mask2d])
         result = compiled.run(x, w, mask=mask2d)
         np.testing.assert_allclose(result.output, x @ w, atol=1e-8)
 
@@ -79,7 +79,8 @@ class TestFullPipeline:
         compiler = PITCompiler(V100)
         shape = (512, 512)
         first = granular_mask(shape, (8, 1), 0.97, seed=0)
-        compiled = compiler.compile_matmul([first], 512, 512, 512)
+        spec = compiler.plan_spec([first], 512, 512, 512)
+        compiled = compiler.compile(spec, [first])
         rng = np.random.default_rng(2)
         for seed in range(3):
             mask = granular_mask(shape, (8, 1), 0.97, seed=seed + 10)

@@ -57,12 +57,34 @@ class TestBatching:
         batches = engine.plan_batches(engine._queue)
         assert [len(b) for b in batches] == [3, 3, 1]
 
-    def test_moe_workloads_never_co_batch(self):
+    def test_moe_workloads_co_batch_on_matching_routing_stats(self):
+        """Same-architecture MoE requests whose routing load statistics
+        agree to within a quantization bucket share a batch — their tables
+        merge through ``merge_routing`` instead of being refused."""
         engine = make_engine()
         engine.submit(switch_workload(8, 4, seed=0))
-        engine.submit(switch_workload(8, 4, seed=1))
+        engine.submit(switch_workload(8, 4, seed=0))
+        batches = engine.plan_batches(engine._queue)
+        assert len(batches) == 1
+        assert len(batches[0]) == 2
+
+    def test_moe_workloads_with_different_expert_counts_never_co_batch(self):
+        engine = make_engine()
+        engine.submit(switch_workload(8, 4, seed=0))
+        engine.submit(switch_workload(16, 4, seed=0))
         batches = engine.plan_batches(engine._queue)
         assert len(batches) == 2
+
+    def test_merged_moe_batch_serves_and_plans_grouped(self):
+        engine = make_engine()
+        engine.submit(switch_workload(8, 4, seed=0))
+        engine.submit(switch_workload(8, 4, seed=0))
+        report = engine.run()
+        assert len(report.batches) == 1
+        assert all(r.ok for r in report.requests)
+        assert report.batches[0].plan_kinds.get("moe-grouped") is not None
+        kinds = report.selection_summary()["plans_by_kind"]
+        assert kinds["moe-grouped"]["resolved"] == 1
 
     def test_merge_concatenates_lengths(self):
         w1 = bert_workload("mnli", 4, seed=0)
@@ -77,6 +99,56 @@ class TestBatching:
     def test_merge_rejects_empty(self):
         with pytest.raises(ValueError):
             merge_workloads([])
+
+    def test_merge_token_weight_averages_act_sparsity(self):
+        w1 = opt_inference_workload("125m", 4, act_sparsity=0.9, seed=0)
+        w2 = opt_inference_workload("125m", 4, act_sparsity=0.5, seed=1)
+        merged = merge_workloads([w1, w2])
+        expected = (
+            0.9 * w1.total_tokens + 0.5 * w2.total_tokens
+        ) / (w1.total_tokens + w2.total_tokens)
+        assert merged.act_sparsity == pytest.approx(expected)
+
+    def test_merge_rejects_mixed_act_sparsity_regimes(self):
+        w1 = opt_inference_workload("125m", 4, act_sparsity=0.9, seed=0)
+        w2 = opt_inference_workload("125m", 4, seed=1)
+        w2.act_sparsity = None  # Workload is a plain (mutable) dataclass
+        with pytest.raises(ValueError, match="activation"):
+            merge_workloads([w1, w2])
+
+    def test_merge_averages_attention_stats(self):
+        w1 = longformer_workload(seq_len=2048, batch_size=1, seed=0)
+        w2 = longformer_workload(seq_len=2048, batch_size=1, seed=3)
+        merged = merge_workloads([w1, w2])
+        s1, s2, sm = w1.attn_stats, w2.attn_stats, merged.attn_stats
+        assert sm.seq == s1.seq
+        assert sm.nnz == int(round((s1.nnz + s2.nnz) / 2))
+        lo, hi = sorted((s1.covered_micro, s2.covered_micro))
+        assert lo <= sm.covered_micro <= hi
+
+    def test_merge_rejects_mixed_attention_metadata(self):
+        w1 = longformer_workload(seq_len=2048, batch_size=1, seed=0)
+        w2 = longformer_workload(seq_len=2048, batch_size=1, seed=1)
+        w2.attn_stats = None
+        with pytest.raises(ValueError, match="attention"):
+            merge_workloads([w1, w2])
+
+    def test_merge_rejects_different_models(self):
+        w1 = bert_workload("mnli", 4, seed=0)
+        w2 = opt_inference_workload("125m", 4, seed=0)
+        with pytest.raises(ValueError, match="different models"):
+            merge_workloads([w1, w2])
+
+    def test_merge_concatenates_moe_routing(self):
+        w1 = switch_workload(8, 4, seed=0)
+        w2 = switch_workload(8, 4, seed=1)
+        merged = merge_workloads([w1, w2])
+        assert set(merged.routing_by_layer) == set(w1.routing_by_layer)
+        for layer, routing in merged.routing_by_layer.items():
+            r1 = w1.routing_by_layer[layer]
+            r2 = w2.routing_by_layer[layer]
+            assert routing.num_tokens == r1.num_tokens + r2.num_tokens
+            np.testing.assert_array_equal(routing.counts, r1.counts + r2.counts)
 
     def test_lone_oversized_request_still_gets_a_batch(self):
         """A request bigger than the token budget cannot wait forever for a
@@ -183,6 +255,82 @@ class TestServingRun:
         report = engine.run()
         # Two plans resolved: the token projection and the sparse-act FFN.
         assert report.batches[0].cache_misses == 2
+        assert set(report.batches[0].plan_kinds) == {"proj", "ffn-act"}
+
+    def test_attention_stream_plans_attention(self):
+        """Serving resolves an attention plan from the workload's mask
+        statistics through the same Planner as the projection plan."""
+        cache = PlanCache()
+        engine = make_engine(plan_cache=cache, max_batch_size=4)
+        engine.submit(longformer_workload(seq_len=2048, batch_size=1, seed=0))
+        report = engine.run()
+        assert set(report.batches[0].plan_kinds) == {"proj", "attention"}
+        kinds = report.selection_summary()["plans_by_kind"]
+        assert kinds["attention"] == {"resolved": 1, "cold": 1}
+        # A statistically alike request hits the cached attention plan.
+        engine.submit(longformer_workload(seq_len=2048, batch_size=1, seed=5))
+        report2 = engine.run()
+        kinds2 = report2.selection_summary()["plans_by_kind"]
+        assert kinds2["attention"] == {"resolved": 1, "cold": 0}
+
+    def test_resolve_plan_shim_warns_and_resolves(self):
+        engine = make_engine()
+        mask = np.zeros((64, 32), dtype=bool)
+        mask[:8] = True
+        with pytest.warns(DeprecationWarning, match="PlanSpec"):
+            choice = engine._resolve_plan(
+                "act", 64, 32, 32, (5,), lambda: [mask]
+            )
+        assert choice.est_cost_us > 0
+
+
+class TestPlanPersistence:
+    def test_saved_cache_serves_warm_in_a_fresh_engine(self, tmp_path):
+        """The acceptance property: a fresh engine constructed from
+        ``PlanCache.load`` of a previous engine's dump serves the same
+        traffic with zero cold searches — across every plan kind."""
+        def traffic():
+            wls = [bert_workload("mnli", 4, seed=s) for s in range(2)]
+            wls += [opt_inference_workload("125m", 2, seed=0)]
+            wls += [longformer_workload(seq_len=2048, batch_size=1, seed=0)]
+            wls += [switch_workload(8, 2, seed=0)]
+            return wls
+
+        path = tmp_path / "plans.json"
+        cold_cache = PlanCache()
+        engine = make_engine(plan_cache=cold_cache, enforce_memory=False)
+        engine.submit_many(traffic(), interarrival_us=1000.0)
+        cold_report = engine.run()
+        assert cold_cache.misses > 0
+        saved = engine.save_plan_cache(path)
+        assert saved["entries"] > 0 and saved["skipped"] == 0
+
+        loaded = PlanCache.load(
+            path, expected_tiledb_key=engine.tiledb.cache_key
+        )
+        fresh = make_engine(plan_cache=loaded, enforce_memory=False)
+        fresh.submit_many(traffic(), interarrival_us=1000.0)
+        warm_report = fresh.run()
+        assert loaded.misses == 0
+        assert warm_report.selection_summary()["cold_batches"] == 0
+        # Identical traffic, identical plan mix.
+        assert {k: v["resolved"] for k, v in
+                warm_report.selection_summary()["plans_by_kind"].items()} == \
+               {k: v["resolved"] for k, v in
+                cold_report.selection_summary()["plans_by_kind"].items()}
+
+    def test_load_rejects_foreign_tiledb_dump(self, tmp_path):
+        path = tmp_path / "plans.json"
+        engine = make_engine()
+        engine.submit(bert_workload("mnli", 4, seed=0))
+        engine.run()
+        engine.save_plan_cache(path)
+        from repro.hw import A100
+        from repro.core import TileDB
+
+        other = TileDB.shared(A100, "float32")
+        with pytest.raises(ValueError, match="does not match"):
+            PlanCache.load(path, expected_tiledb_key=other.cache_key)
 
     def test_pit_backend_shares_engine_plan_cache(self):
         engine = make_engine()
