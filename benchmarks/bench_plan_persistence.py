@@ -1,0 +1,165 @@
+"""Plan-cache persistence: a warm cache must survive process restarts.
+
+The PlanSpec redesign makes every serving-path plan — token projection,
+activation-sparse FFN, dynamic attention, merged-routing MoE — a
+JSON-round-trippable artifact keyed by a serializable spec.  This benchmark
+gates the property the redesign exists for:
+
+1. drive a mixed traffic trace (BERT + OPT + Longformer + Switch-MoE)
+   through a cold engine, paying the real Algorithm 1 searches;
+2. ``ServingEngine.save_plan_cache`` the warmed cache to disk;
+3. revive it with ``PlanCache.load`` (TileDB-key validated) inside a
+   **fresh** engine and replay the identical trace.
+
+Gates:
+
+* the reloaded run performs **zero** cold searches (no plan-cache misses,
+  no cold batches) — every spec built from the replayed traffic keys the
+  dump exactly;
+* every plan kind resolved cold is resolved warm (same per-kind plan mix);
+* total measured selection wall time drops at least ``MIN_SPEEDUP``x —
+  the warm start actually buys the restart something;
+* a dump is *not* transferable across tile databases: loading against a
+  different device's TileDB key must raise.
+
+The dump is written to ``BENCH_plan_cache.json`` so CI can archive it.
+
+Run:  PYTHONPATH=src python benchmarks/bench_plan_persistence.py
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.core import PlanCache, TileDB
+from repro.hw import A100, V100
+from repro.models import (
+    bert_workload,
+    longformer_workload,
+    opt_inference_workload,
+    switch_workload,
+)
+from repro.runtime import ServingEngine, format_table
+
+DUMP_PATH = "BENCH_plan_cache.json"
+#: The warm replay must cut total measured selection wall time at least
+#: this much (observed: >50x — lookups vs real Algorithm 1 searches).
+MIN_SPEEDUP = 3.0
+
+
+def traffic() -> list:
+    """A mixed trace exercising all four plan kinds, with enough repeats
+    per shape that the cold run itself reaches a steady state."""
+    wls = [bert_workload("mnli", 8, seed=s) for s in range(8)]
+    wls += [bert_workload("cola", 8, seed=s) for s in range(8)]
+    wls += [opt_inference_workload("125m", 4, seed=s % 2) for s in range(6)]
+    wls += [longformer_workload(seq_len=2048, batch_size=1, seed=s % 2)
+            for s in range(4)]
+    wls += [switch_workload(8, 4, seed=s % 2) for s in range(6)]
+    return wls
+
+
+def serve(cache: PlanCache) -> tuple:
+    engine = ServingEngine(
+        V100,
+        max_batch_tokens=8192,
+        max_batch_size=8,
+        plan_cache=cache,
+        enforce_memory=False,
+    )
+    engine.submit_many(traffic(), interarrival_us=2000.0)
+    # Drain policy: deterministic batching, so the replay forms the exact
+    # same batches (and therefore the exact same merged-workload specs).
+    return engine, engine.run()
+
+
+def main():
+    # --- Cold process: pay the searches, persist the outcome -------------
+    cold_cache = PlanCache()
+    cold_engine, cold_report = serve(cold_cache)
+    cold_sel = cold_report.selection_summary()
+    if cold_cache.misses == 0:
+        raise SystemExit("FAIL: the cold run paid no searches — nothing to gate")
+    saved = cold_engine.save_plan_cache(DUMP_PATH)
+
+    # --- "Restarted" process: fresh engine, reloaded cache ---------------
+    loaded = PlanCache.load(
+        DUMP_PATH, expected_tiledb_key=cold_engine.tiledb.cache_key
+    )
+    warm_engine, warm_report = serve(loaded)
+    warm_sel = warm_report.selection_summary()
+
+    rows = [
+        ["cold (fresh cache)", len(cold_report.batches),
+         cold_sel["cold_batches"], cold_cache.misses,
+         cold_report.total_selection_us / 1e3],
+        ["warm (reloaded dump)", len(warm_report.batches),
+         warm_sel["cold_batches"], loaded.misses,
+         warm_report.total_selection_us / 1e3],
+    ]
+    print(
+        format_table(
+            ["run", "batches", "cold batches", "cache misses", "selection ms"],
+            rows,
+            title="Plan persistence: cold process vs reloaded warm start",
+        )
+    )
+    print()
+    kinds = "  ".join(
+        f"{kind}: {agg['resolved']}"
+        for kind, agg in sorted(warm_sel["plans_by_kind"].items())
+    )
+    print(f"plan kinds served warm: {kinds}")
+    print(f"dump: {saved['entries']} entries "
+          f"({saved['skipped']} skipped) -> {DUMP_PATH} "
+          f"({os.path.getsize(DUMP_PATH)} bytes)")
+
+    # --- Gates ------------------------------------------------------------
+    if loaded.misses != 0 or warm_sel["cold_batches"] != 0:
+        raise SystemExit(
+            f"FAIL: reloaded engine paid {loaded.misses} cache misses over "
+            f"{warm_sel['cold_batches']} cold batches; expected zero cold "
+            f"searches from a persisted cache"
+        )
+    expected_kinds = {"proj", "ffn-act", "attention", "moe-grouped"}
+    warm_kinds = set(warm_sel["plans_by_kind"])
+    if warm_kinds != expected_kinds:
+        raise SystemExit(
+            f"FAIL: warm run resolved plan kinds {sorted(warm_kinds)}, "
+            f"expected {sorted(expected_kinds)}"
+        )
+    if {k: v["resolved"] for k, v in warm_sel["plans_by_kind"].items()} != \
+       {k: v["resolved"] for k, v in cold_sel["plans_by_kind"].items()}:
+        raise SystemExit(
+            "FAIL: the replayed traffic resolved a different plan mix than "
+            "the cold run — the dump does not describe identical serving"
+        )
+    speedup = (
+        cold_report.total_selection_us / warm_report.total_selection_us
+        if warm_report.total_selection_us > 0
+        else float("inf")
+    )
+    print(f"selection wall-time speedup from warm start: {speedup:.1f}x")
+    if speedup < MIN_SPEEDUP:
+        raise SystemExit(
+            f"FAIL: expected >= {MIN_SPEEDUP}x warm-start selection speedup, "
+            f"got {speedup:.1f}x"
+        )
+
+    # A dump must not leak across tile databases.
+    foreign = TileDB.shared(A100, "float32")
+    try:
+        PlanCache.load(DUMP_PATH, expected_tiledb_key=foreign.cache_key)
+    except ValueError:
+        pass
+    else:
+        raise SystemExit(
+            "FAIL: a dump built on V100 loaded against the A100 TileDB key"
+        )
+
+    print(f"OK: zero cold searches after reload, {speedup:.1f}x selection "
+          f"speedup, foreign-TileDB dump rejected")
+
+
+if __name__ == "__main__":
+    main()
