@@ -114,6 +114,37 @@ def main():
         f"{report.overlap_saved_us / 1e3:.2f} ms"
     )
 
+    # Heterogeneous fleet: a mixed V100+A100 lineup (slow device listed
+    # first) under cost-aware placement.  Each closed batch is priced on
+    # both device classes' analytical models and placed to minimize
+    # predicted finish time, so the idle-fleet batches land on the A100
+    # instead of replica id 0; least-loaded placement on the identical
+    # lineup shows what speed-blind placement costs.
+    from repro.hw import parse_lineup
+
+    lineup = parse_lineup("v100+a100")
+    for placement in ("least-loaded", "cost-aware"):
+        het_cache = PlanCache()
+        for _ in range(2):  # second pass serves fully warm
+            het_engine = ServingEngine(
+                V100,
+                replica_specs=lineup,
+                placement=placement,
+                dtype="float16",
+                max_batch_tokens=8192,
+                max_batch_size=8,
+                batch_window_us=500.0,
+                plan_cache=het_cache,
+            )
+            het_engine.submit_many(
+                [bert_workload("mnli", 8, seed=s % 4) for s in range(12)],
+                interarrival_us=4000.0,
+            )
+            het_report = het_engine.run(policy="continuous")
+        print()
+        print(f"mixed lineup, {placement} placement:")
+        print(het_report.describe())
+
     # MoE co-batching: Switch-Transformer requests with statistically alike
     # routing merge their routing tables and plan one grouped dispatch;
     # Longformer requests plan their dynamic attention cover.  All four

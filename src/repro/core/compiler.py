@@ -20,7 +20,6 @@ policy can be periodically refreshed with new samples, mirroring the
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from typing import Optional
 
@@ -148,38 +147,6 @@ class PITCompiler:
         if use_cache:
             self._cache[spec] = compiled
         return compiled
-
-    def compile_matmul(
-        self,
-        sparsity_samples,
-        m: int,
-        k: int,
-        n: int,
-        *,
-        sparse_operand: str = "A",
-        use_cache: bool = True,
-    ) -> CompiledMatmul:
-        """Deprecated: build a :class:`PlanSpec` and call :meth:`compile`.
-
-        Kept for one release of compatibility.  The replacement::
-
-            spec = compiler.plan_spec(samples, m, k, n)
-            compiled = compiler.compile(spec, samples)
-
-        fixes the old sparsity-blind behaviour: the compile cache is keyed
-        on the spec (shape **and** quantized sparsity signature), so two
-        sparsity regimes of one shape no longer share a kernel.
-        """
-        warnings.warn(
-            "PITCompiler.compile_matmul is deprecated; build a PlanSpec with "
-            "PITCompiler.plan_spec and call PITCompiler.compile",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        spec = self.plan_spec(
-            sparsity_samples, m, k, n, sparse_operand=sparse_operand
-        )
-        return self.compile(spec, sparsity_samples, use_cache=use_cache)
 
     def refresh(
         self,

@@ -228,6 +228,11 @@ class ResolvedPlan:
     #: Measured wall time of this resolve call in microseconds — a lookup
     #: when warm, the full search when cold (Section 5.5's quantity).
     search_us: float
+    #: Name of the device whose tile database the plan was resolved against
+    #: — plans are device-specific (an A100 and a V100 pick different tiles
+    #: for the same sparsity), and a heterogeneous serving fleet resolves
+    #: one plan per device class, so provenance names the class.
+    device: str = ""
 
     @property
     def cold(self) -> bool:
@@ -322,6 +327,7 @@ class Planner:
             choice=choice,
             cache_hit=hit,
             search_us=(time.perf_counter() - start) * 1e6,
+            device=self.tiledb.spec.name,
         )
 
     def memo(self, spec: PlanSpec, compute: Callable):

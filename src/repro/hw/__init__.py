@@ -21,6 +21,7 @@ from .costmodel import (
     matmul_step_time_us,
     matmul_tile_fixed_time_us,
     matmul_tile_time_us,
+    predicted_finish_us,
     reduction_time_us,
     softmax_time_us,
     sparse_matmul_time_us,
@@ -35,7 +36,7 @@ from .memory import (
 )
 from .memtracker import MemoryTracker, OutOfMemoryError
 from .profiler import TileProfile, clear_profile_cache, profile_matmul_tiles
-from .spec import A100, V100, V100_16GB, GPUSpec, dtype_bytes, get_gpu
+from .spec import A100, V100, V100_16GB, GPUSpec, dtype_bytes, get_gpu, parse_lineup
 from .timeline import ExecReport, Timeline
 from .wmma import (
     WMMA_FP16_SHAPES,
@@ -73,6 +74,8 @@ __all__ = [
     "matmul_tile_fixed_time_us",
     "matmul_tile_time_us",
     "microtile_contig_bytes",
+    "parse_lineup",
+    "predicted_finish_us",
     "profile_matmul_tiles",
     "reduction_time_us",
     "softmax_time_us",

@@ -202,6 +202,22 @@ def sparse_matmul_time_us(
     return step_waves * step + tile_waves * fixed + spec.kernel_launch_us + detector_us
 
 
+def predicted_finish_us(
+    close_us: float, free_at_us: float, est_exec_us: float
+) -> float:
+    """Predicted completion time of a batch placed on one replica.
+
+    The cost-aware placement objective: a batch closed at ``close_us`` can
+    start no earlier than the replica frees up, then runs for the device
+    model's estimated execution time.  ``inf`` estimates (a batch the device
+    cannot serve, e.g. predicted OOM) propagate, pushing placement toward
+    replicas that can finish at all.
+    """
+    if est_exec_us < 0:
+        raise ValueError("est_exec_us must be >= 0")
+    return max(close_us, free_at_us) + est_exec_us
+
+
 def elementwise_time_us(
     num_elems: int,
     dtype: str,

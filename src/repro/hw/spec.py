@@ -179,3 +179,27 @@ def get_gpu(name: str) -> GPUSpec:
     except KeyError:
         known = ", ".join(sorted(_REGISTRY))
         raise KeyError(f"unknown GPU {name!r}; known GPUs: {known}") from None
+
+
+def parse_lineup(text: str) -> list:
+    """Parse a heterogeneous replica lineup like ``"2xa100+v100"``.
+
+    The grammar is ``count x name`` terms joined by ``+`` (or ``,``), with
+    the count optional: ``"a100+v100"`` is one of each,
+    ``"2xa100+2xv100"`` a four-replica mixed fleet.  Order is preserved —
+    replica ids follow lineup order — and every name resolves through
+    :func:`get_gpu`, so a typo fails loudly with the known-device list.
+    """
+    specs = []
+    for term in text.replace(",", "+").split("+"):
+        term = term.strip().lower()  # names resolve case-insensitively
+        if not term:
+            raise ValueError(f"empty term in lineup {text!r}")
+        count, name = 1, term
+        head, sep, tail = term.partition("x")
+        if sep and head.strip().isdigit():
+            count, name = int(head), tail
+        if count < 1:
+            raise ValueError(f"replica count must be >= 1 in {term!r}")
+        specs.extend([get_gpu(name)] * count)
+    return specs

@@ -10,6 +10,7 @@ from .report import format_speedups, format_table
 from .scheduler import ContinuousScheduler
 from .serving import (
     BatchReport,
+    DeviceClass,
     InferenceRequest,
     ReplicaStats,
     RequestReport,
@@ -21,6 +22,7 @@ from .serving import (
 from .session import (
     BACKENDS_BY_NAME,
     make_backend,
+    make_replica_backends,
     run_lineup,
     validate_backend_kwargs,
 )
@@ -30,6 +32,7 @@ __all__ = [
     "BACKENDS_BY_NAME",
     "BatchReport",
     "ContinuousScheduler",
+    "DeviceClass",
     "InferenceRequest",
     "ReplicaStats",
     "RequestReport",
@@ -42,6 +45,7 @@ __all__ = [
     "format_speedups",
     "format_table",
     "make_backend",
+    "make_replica_backends",
     "merge_workloads",
     "run_lineup",
     "run_transformer",

@@ -15,14 +15,22 @@ two mechanisms a serving system actually runs:
   cap closes immediately (no later arrival could ever join it, so waiting
   out the window would only add queueing delay).
 
-* **Multi-replica placement**: closed batches dispatch onto N device
-  replicas, least-loaded first (the replica that frees up earliest; ties
-  break toward the lowest id, making placement deterministic).  All
-  replicas execute through the engine's single backend and — critically —
-  one shared :class:`~repro.core.selection.PlanCache`: the first cold
-  Algorithm 1 search for a traffic signature warms *every* replica, so
-  adding replicas adds zero cold searches (the PIT-specific twist on
-  standard continuous batching).
+* **Multi-replica placement** across a possibly *heterogeneous* fleet
+  (per-replica :class:`~repro.hw.spec.GPUSpec`): a closed batch is priced
+  on every replica's analytical device model — memoized per
+  ``(batch signature, device class)``, so the hot path is a dictionary
+  lookup — and placed to minimize predicted finish time
+  ``max(close_us, free_at_us) + est_exec_us``
+  (:func:`~repro.hw.costmodel.predicted_finish_us`; ties break toward the
+  replica that frees earliest, then the lowest id, making placement
+  deterministic — an all-identical lineup therefore reproduces the legacy
+  least-loaded placement exactly, and ``placement="least-loaded"`` forces
+  it outright).  Every replica executes through its device class's
+  backend, and all classes share one
+  :class:`~repro.core.selection.PlanCache`: the first cold Algorithm 1
+  search for a (traffic signature, device class) pair warms every replica
+  of that class, so adding replicas of an already-seen class adds zero
+  cold searches (the PIT-specific twist on standard continuous batching).
 
 * **Selection/compute overlap**: the Algorithm 1 search for a batch is
   issued *when the batch opens* (speculatively, from the first admitted
@@ -53,7 +61,13 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Optional
 
-from .serving import ReplicaStats, ServingReport, SpeculativeSelection
+from ..hw.costmodel import predicted_finish_us
+from .serving import (
+    ReplicaStats,
+    ServingReport,
+    SpeculativeSelection,
+    merge_workloads,
+)
 
 #: Event kinds, ordered so that an arrival at time ``t`` is processed before
 #: a window deadline at the same ``t`` — a request arriving exactly on the
@@ -81,6 +95,9 @@ class _Replica:
     """One simulated device replica's schedule."""
 
     replica_id: int
+    #: The replica's :class:`~repro.runtime.serving.DeviceClass` — its
+    #: backend, tile database, planner and pricing model.
+    device: object = None
     free_at_us: float = 0.0
     busy_us: float = 0.0
     batches: int = 0
@@ -95,7 +112,11 @@ class ContinuousScheduler:
     scheduler owns batching (admission + closure) and placement; planning
     and execution stay on the engine (:meth:`ServingEngine.execute_batch`),
     so every replica resolves kernel plans through the engine's one
-    :class:`~repro.core.selection.PlanCache`.
+    :class:`~repro.core.selection.PlanCache`.  Replica ``i`` executes on
+    ``engine.device_for_replica(i)`` — a heterogeneous lineup
+    (``ServingEngine(replica_specs=[...])``) places batches cost-aware by
+    predicted finish time; ``placement="least-loaded"`` forces the legacy
+    earliest-free policy.
 
     ``batch_window_us=None`` disables the deadline entirely: batches close
     only on budget overflow or end of stream (maximum co-batching, worst
@@ -110,15 +131,21 @@ class ContinuousScheduler:
         replicas: int = 1,
         batch_window_us: Optional[float] = 2000.0,
         overlap_selection: bool = True,
+        placement: str = "cost-aware",
     ):
         if replicas < 1:
             raise ValueError("replicas must be >= 1")
         if batch_window_us is not None and batch_window_us < 0:
             raise ValueError("batch_window_us must be >= 0 (or None)")
+        if placement not in ("cost-aware", "least-loaded"):
+            raise ValueError(
+                f"placement must be cost-aware|least-loaded, got {placement!r}"
+            )
         self.engine = engine
         self.num_replicas = replicas
         self.batch_window_us = batch_window_us
         self.overlap_selection = overlap_selection
+        self.placement = placement
 
     # ------------------------------------------------------------------
     # The event loop
@@ -126,7 +153,10 @@ class ContinuousScheduler:
     def run(self, requests) -> ServingReport:
         """Serve ``requests`` (arrival-stamped) and return the report."""
         report = ServingReport(policy="continuous")
-        replicas = [_Replica(i) for i in range(self.num_replicas)]
+        replicas = [
+            _Replica(i, device=self.engine.device_for_replica(i))
+            for i in range(self.num_replicas)
+        ]
         open_batches: dict = {}
         tokens = itertools.count()
         seq = itertools.count()
@@ -164,6 +194,7 @@ class ContinuousScheduler:
             report.replica_stats.append(
                 ReplicaStats(
                     replica_id=rep.replica_id,
+                    device=rep.device.name if rep.device is not None else "",
                     batches=rep.batches,
                     tokens=rep.tokens,
                     busy_us=rep.busy_us,
@@ -181,7 +212,7 @@ class ContinuousScheduler:
     def _admit(self, request, now, open_batches, events, seq, tokens,
                replicas, report) -> None:
         """Place one arrival into (or around) its signature's open batch."""
-        signature = request.batch_signature()
+        signature = request.batch_signature(self.engine.plan_cache.quantum)
         batch = open_batches.get(signature)
         if batch is not None and not self.engine._fits(batch.requests, request):
             # The arrival does not fit: the open batch closes now and the
@@ -197,8 +228,17 @@ class ContinuousScheduler:
                 # Issue the Algorithm 1 search now, from the first admitted
                 # request's signature: a cold search runs while the batch
                 # collects partners instead of serializing at close time.
+                # Plans are device-specific, so the search resolves against
+                # the *predicted* placement target's class (as if the batch
+                # closed now); a misprediction leaves the residual search
+                # serial at close time, exactly the pre-overlap behaviour.
+                # memoize=False: one request's latency must not seed the
+                # exec-estimate memo that dispatch prices merged batches by.
+                target = self._select_replica(
+                    signature, request.workload, now, replicas, memoize=False
+                )
                 batch.speculation = self.engine.speculate_plans(
-                    request.workload, issued_us=now
+                    request.workload, issued_us=now, device=target.device
                 )
             open_batches[signature] = batch
             if self.batch_window_us is not None:
@@ -231,10 +271,58 @@ class ContinuousScheduler:
         num_seqs = sum(r.workload.batch_size for r in requests)
         return max_len * (num_seqs + 1) > self.engine.max_batch_tokens
 
+    def _select_replica(self, signature, workload, close_us: float,
+                        replicas, memoize: bool = True) -> _Replica:
+        """Pick the replica for a ``signature`` batch closing at ``close_us``.
+
+        Cost-aware placement minimizes the predicted finish time
+        ``max(close_us, free_at_us) + est_exec_us`` with the batch priced
+        on each replica's device class
+        (:meth:`~repro.runtime.serving.ServingEngine.estimate_exec_us`,
+        memoized per (signature, class) — only from dispatch-time merged
+        workloads, so the batch-open prediction passes ``memoize=False``).
+        Ties break toward the replica that frees earliest, then the lowest
+        id — on an all-identical lineup the estimate is one constant, so
+        the ordering collapses to exactly the legacy least-loaded
+        ``(free_at_us, replica_id)`` order and placement is bit-identical
+        to it.
+        """
+        if self.placement == "least-loaded" or len(
+            {r.device.spec for r in replicas}
+        ) == 1:
+            # Least-loaded, or a single device class: with one class the
+            # estimate is a constant, the predicted-finish ordering
+            # provably collapses to (free_at, id), and pricing could never
+            # change the decision — so homogeneous lineups skip the
+            # simulated pricing runs entirely.
+            return min(replicas, key=lambda r: (r.free_at_us, r.replica_id))
+        # Price once per distinct device class, not per replica: a cold
+        # (unmemoized) estimate is a full simulated model run, and replicas
+        # of one class share it by construction.
+        est_by_class = {}
+        for r in replicas:
+            if r.device.spec not in est_by_class:
+                est_by_class[r.device.spec] = self.engine.estimate_exec_us(
+                    signature, workload, r.device, memoize=memoize
+                )
+        return min(
+            replicas,
+            key=lambda r: (
+                predicted_finish_us(
+                    close_us, r.free_at_us, est_by_class[r.device.spec]
+                ),
+                r.free_at_us,
+                r.replica_id,
+            ),
+        )
+
     def _dispatch(self, batch: _OpenBatch, close_us: float, replicas,
                   report: ServingReport) -> None:
-        """Place a closed batch onto the least-loaded replica and execute."""
-        replica = min(replicas, key=lambda r: (r.free_at_us, r.replica_id))
+        """Place a closed batch (cost-aware) and execute it there."""
+        workload = merge_workloads([r.workload for r in batch.requests])
+        replica = self._select_replica(
+            batch.signature, workload, close_us, replicas
+        )
         ready_us = max(close_us, replica.free_at_us)
         start = ready_us
         saved_us = 0.0
@@ -252,6 +340,8 @@ class ContinuousScheduler:
             start_us=start,
             replica_id=replica.replica_id,
             speculation=spec,
+            device=replica.device,
+            workload=workload,
         )
         batch_report.overlap_saved_us = saved_us
         replica.free_at_us = start + batch_report.exec_us

@@ -23,7 +23,6 @@ aggregate throughput.  Two clocks coexist deliberately:
 from __future__ import annotations
 
 import time
-import warnings
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -38,7 +37,7 @@ from ..sparsity.activation import relu_activation_mask
 from ..sparsity.attention import MaskStats, representative_attention_mask
 from ..sparsity.moe import merge_routing, routing_sample_mask, routing_signature
 from .engine import RunReport, run_transformer
-from .session import make_backend
+from .session import make_replica_backends
 
 
 @dataclass(frozen=True)
@@ -58,7 +57,7 @@ class InferenceRequest:
     def max_len(self) -> int:
         return self.workload.max_len
 
-    def batch_signature(self) -> tuple:
+    def batch_signature(self, quantum: Optional[float] = None) -> tuple:
         """Requests sharing a signature may execute in one batch.
 
         Compatible means: same model architecture, same activation-sparsity
@@ -71,16 +70,25 @@ class InferenceRequest:
         MoE routing tables concatenate through
         :func:`~repro.sparsity.moe.merge_routing`: the grouped kernel's
         cost follows the total token count, so co-batching is sound.
+
+        ``quantum`` is the bucket width; it must be the *engine's* plan-cache
+        quantum (the engine's batching paths thread it through), so that
+        requests judged batch-compatible also quantize to one plan
+        signature — co-batching at one tolerance while caching plans at
+        another would silently defeat speculation.  Defaults to
+        :data:`~repro.core.selection.SIGNATURE_QUANTUM` for standalone use.
         """
         from ..core.selection import SIGNATURE_QUANTUM
 
+        if quantum is None:
+            quantum = SIGNATURE_QUANTUM
         cfg = self.workload.config
         stats = self.workload.attn_stats
         attn_key = None
         if stats is not None:
             attn_key = (
                 stats.seq,
-                int(round(stats.density / SIGNATURE_QUANTUM)),
+                int(round(stats.density / quantum)),
                 stats.micro_w,
                 stats.block,
             )
@@ -89,7 +97,7 @@ class InferenceRequest:
         if routing:
             moe_key = (
                 tuple(sorted(routing)),
-                routing_signature(routing.values(), quantum=SIGNATURE_QUANTUM),
+                routing_signature(routing.values(), quantum=quantum),
             )
         return (cfg.name, self.workload.act_sparsity, attn_key, moe_key)
 
@@ -166,6 +174,36 @@ def merge_workloads(workloads) -> Workload:
     )
 
 
+@dataclass(frozen=True)
+class DeviceClass:
+    """One distinct device type of a (possibly heterogeneous) replica fleet.
+
+    Replicas of the same :class:`~repro.hw.spec.GPUSpec` share everything
+    device-specific: the backend, the profiled :class:`TileDB`, the
+    :class:`~repro.core.plan.Planner` and the analytical pricing model.
+    Plans for different classes coexist in the engine's one
+    :class:`PlanCache` because the TileDB key — which embeds the full
+    ``GPUSpec`` — is part of every plan key, so adding a replica of an
+    already-seen class adds zero cold searches.
+    """
+
+    #: Dense index in first-seen lineup order (0 = the engine's own spec).
+    class_id: int
+    spec: GPUSpec
+    backend: object
+    tiledb: TileDB
+    planner: Planner
+    #: A second backend of the same device *not* attached to the shared
+    #: plan cache: cost-aware placement prices candidate workloads through
+    #: it, and pricing must not perturb the serving cache's hit/miss
+    #: accounting (placement probes are not traffic).
+    pricing_backend: object
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+
 @dataclass
 class SpeculativeSelection:
     """A plan search issued at batch-*open* time, from the first admitted
@@ -188,6 +226,12 @@ class SpeculativeSelection:
     cache_misses: int
     #: Plan kind -> whether the speculative resolve was cold for that kind.
     plan_kinds: dict = field(default_factory=dict)
+    #: Device class the speculation resolved against — the scheduler's
+    #: *predicted* placement target at batch-open time.  The close-time
+    #: residual re-resolves against the actual target, so a mispredicted
+    #: class costs at most one serial search (and only while that class is
+    #: still cold).
+    device: str = ""
 
     @property
     def cold(self) -> bool:
@@ -253,6 +297,9 @@ class ReplicaStats:
     """Per-replica accounting of one scheduler run."""
 
     replica_id: int
+    #: Device-class name of the replica (e.g. ``"A100-80GB"``); empty on
+    #: reports predating heterogeneous lineups.
+    device: str = ""
     batches: int = 0
     tokens: int = 0
     #: Simulated time the replica spent executing batches.
@@ -405,11 +452,46 @@ class ServingReport:
                 for s in self.replica_stats
             )
             lines.append(f"replicas: {len(self.replica_stats)}  {util}")
+            by_class = self.device_class_stats()
+            if by_class:
+                classes = "  ".join(
+                    f"{name}: {agg['replicas']}x util "
+                    f"{agg['utilization'] * 100:.0f}% "
+                    f"({agg['batches']} batches)"
+                    for name, agg in sorted(by_class.items())
+                )
+                lines.append(f"device classes: {classes}")
         return "\n".join(lines)
+
+    def device_class_stats(self) -> dict:
+        """Per-device-class aggregates over the replica stats.
+
+        ``{device name: {replicas, batches, tokens, busy_us, utilization}}``
+        where utilization is the class's busy time over the time the class's
+        replicas collectively had available (``replicas * makespan``).
+        Empty when the report predates heterogeneous lineups (no replica
+        carries a device name).
+        """
+        by_class: dict = {}
+        for s in self.replica_stats:
+            if not s.device:
+                continue
+            agg = by_class.setdefault(
+                s.device,
+                {"replicas": 0, "batches": 0, "tokens": 0, "busy_us": 0.0},
+            )
+            agg["replicas"] += 1
+            agg["batches"] += s.batches
+            agg["tokens"] += s.tokens
+            agg["busy_us"] += s.busy_us
+        for agg in by_class.values():
+            window = agg["replicas"] * self.makespan_us
+            agg["utilization"] = agg["busy_us"] / window if window > 0 else 0.0
+        return by_class
 
 
 class ServingEngine:
-    """Dynamic-batching inference engine over one device model.
+    """Dynamic-batching inference engine over a (possibly mixed) device fleet.
 
     Requests are drained FCFS: compatible requests (same
     :meth:`InferenceRequest.batch_signature`) accumulate into a batch until
@@ -417,6 +499,16 @@ class ServingEngine:
     the batch executes on the simulated device.  Every batch first resolves
     its kernel plans through the shared :class:`PlanCache` — cold batches
     pay the Algorithm 1 search, steady-state batches pay a lookup.
+
+    ``replicas=N`` is the homogeneous shorthand for N copies of ``spec``;
+    ``replica_specs=[A100, A100, V100]`` declares a heterogeneous lineup.
+    One backend/TileDB/:class:`~repro.core.plan.Planner` is built per
+    *distinct* device class (a :class:`DeviceClass`), all sharing the one
+    plan cache — plans for different devices coexist because the TileDB key
+    is part of every plan key.  The continuous policy places closed batches
+    cost-aware by default (minimize predicted finish time on each class's
+    analytical model); ``placement="least-loaded"`` keeps the PR-2
+    earliest-free policy.
     """
 
     #: Fixed row/column extents of the representative masks fed to kernel
@@ -443,6 +535,8 @@ class ServingEngine:
         max_batch_size: int = 32,
         devices: int = 1,
         replicas: int = 1,
+        replica_specs: Optional[list] = None,
+        placement: str = "cost-aware",
         batch_window_us: Optional[float] = 2000.0,
         overlap_selection: bool = True,
         enforce_memory: bool = False,
@@ -452,6 +546,23 @@ class ServingEngine:
             raise ValueError("batch budgets must be >= 1")
         if replicas < 1:
             raise ValueError("replicas must be >= 1")
+        if replica_specs is not None:
+            replica_specs = list(replica_specs)
+            if not replica_specs:
+                raise ValueError("replica_specs must name at least one device")
+            if replicas != 1 and replicas != len(replica_specs):
+                raise ValueError(
+                    f"replicas={replicas} contradicts the "
+                    f"{len(replica_specs)}-device replica_specs lineup; pass "
+                    f"one or the other"
+                )
+        else:
+            # The homogeneous shorthand: N replicas of the engine's spec.
+            replica_specs = [spec] * replicas
+        if placement not in ("cost-aware", "least-loaded"):
+            raise ValueError(
+                f"placement must be cost-aware|least-loaded, got {placement!r}"
+            )
         if batch_window_us is not None and batch_window_us < 0:
             raise ValueError("batch_window_us must be >= 0 (or None)")
         self.spec = spec
@@ -460,25 +571,121 @@ class ServingEngine:
         self.max_batch_tokens = max_batch_tokens
         self.max_batch_size = max_batch_size
         self.devices = devices
-        self.replicas = replicas
+        self.replica_specs = replica_specs
+        self.replicas = len(replica_specs)
+        self.placement = placement
         self.batch_window_us = batch_window_us
         #: Continuous policy only: issue Algorithm 1 searches speculatively
         #: at batch-open time and overlap them with prior compute.
         self.overlap_selection = overlap_selection
         self.enforce_memory = enforce_memory
         self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
+        # One backend per distinct device class — serving backends share
+        # the plan cache; pricing backends are cache-detached so placement
+        # probes never perturb the serving cache's hit/miss accounting.
+        lineup = [spec] + replica_specs
         kwargs = {"plan_cache": self.plan_cache} if backend == "PIT" else {}
-        self.backend = make_backend(backend, spec, dtype, **kwargs)
-        self.tiledb = self.backend.tiledb
+        serving_backends = make_replica_backends(
+            backend, lineup, dtype, **kwargs
+        )
+        pricing_backends = make_replica_backends(backend, lineup, dtype)
+        #: GPUSpec -> DeviceClass, one per distinct device in the lineup
+        #: (insertion-ordered; the engine's own spec is always class 0).
+        self._device_classes = {
+            dev_spec: DeviceClass(
+                class_id=class_id,
+                spec=dev_spec,
+                backend=dev_backend,
+                tiledb=dev_backend.tiledb,
+                planner=Planner(dev_backend.tiledb, self.plan_cache),
+                pricing_backend=pricing_backends[dev_spec],
+            )
+            for class_id, (dev_spec, dev_backend) in enumerate(
+                serving_backends.items()
+            )
+        }
+        primary = self._device_classes[spec]
+        #: DeviceClass serving each replica id, in lineup order.
+        self.replica_devices = [
+            self._device_classes[s] for s in replica_specs
+        ]
+        # Compatibility surface: `engine.backend/tiledb/planner` name the
+        # engine's own device class.  (Execution always targets a replica's
+        # class — the drain policy runs on replica 0's, which differs from
+        # this surface only when `spec` is absent from `replica_specs`.)
+        self.backend = primary.backend
+        self.tiledb = primary.tiledb
         #: The single Algorithm 1 entry point for every serving-path plan —
-        #: proj, ffn-act, attention and moe-grouped specs all resolve here,
-        #: against the one shared PlanCache.
-        self.planner = Planner(self.tiledb, self.plan_cache)
+        #: proj, ffn-act, attention and moe-grouped specs all resolve here
+        #: (per device class in a heterogeneous lineup), against the one
+        #: shared PlanCache.
+        self.planner = primary.planner
+        #: Memoized analytical exec-time estimates for cost-aware placement,
+        #: keyed by (batch signature, device spec): the first batch of a
+        #: traffic shape prices one simulated run per device class, and
+        #: every later placement decision is a dictionary lookup.
+        self._exec_estimates: dict = {}
         self._queue: list = []
         self._next_id = 0
         #: Latest arrival time ever submitted; `submit_many` continues from
         #: here so a second stream never arrives before an already-queued one.
         self._arrival_clock_us = 0.0
+
+    # ------------------------------------------------------------------
+    # Device classes (heterogeneous replica lineups)
+    # ------------------------------------------------------------------
+    @property
+    def device_classes(self) -> list:
+        """The distinct device classes of the lineup, by ``class_id``."""
+        return list(self._device_classes.values())
+
+    def device_for_replica(self, replica_id: int) -> DeviceClass:
+        """The device class serving ``replica_id``; an off-range id falls
+        back to the engine's own class."""
+        if 0 <= replica_id < len(self.replica_devices):
+            return self.replica_devices[replica_id]
+        return self._device_classes[self.spec]
+
+    def estimate_exec_us(
+        self,
+        signature,
+        workload: Workload,
+        device: Optional[DeviceClass] = None,
+        *,
+        memoize: bool = True,
+    ) -> float:
+        """Predicted execution time of a ``signature`` batch on ``device``.
+
+        The estimate is the analytical device model's simulated latency of
+        ``workload`` on the class's pricing backend, memoized per
+        ``(batch signature, device spec)`` so the placement hot path stays a
+        dictionary lookup.  Within one signature bucket the first-memoized
+        batch composition stands in for all later ones — the same
+        statistical-likeness bet the plan cache makes.  Only dispatch-time
+        pricing memoizes (``memoize=True``, pricing the closed batch's
+        *merged* workload); the scheduler's batch-open target prediction
+        passes ``memoize=False`` because it only has the first admitted
+        request, and a single request's latency must not stand in for full
+        batches (nor may enabling the accounting-only overlap flag change
+        what the memo holds).  A workload the device cannot serve
+        (simulated OOM / unsupported model) prices as ``inf``, steering
+        placement toward replicas that can finish.
+        """
+        device = device if device is not None else self.device_for_replica(0)
+        key = (signature, device.spec)
+        est = self._exec_estimates.get(key)
+        if est is None:
+            run = run_transformer(
+                workload,
+                device.pricing_backend,
+                mode=self.mode,
+                enforce_memory=self.enforce_memory,
+                devices=self.devices,
+            )
+            est = run.latency_ms * 1e3 if run.ok else float("inf")
+            if memoize:
+                self._exec_estimates[key] = est
+        return est
 
     # ------------------------------------------------------------------
     # Admission
@@ -536,7 +743,7 @@ class ServingEngine:
         open_batches: dict = {}
         closed: list = []
         for request in order:
-            sig = request.batch_signature()
+            sig = request.batch_signature(self.plan_cache.quantum)
             batch = open_batches.get(sig)
             if batch is not None and not self._fits(batch, request):
                 closed.append(batch)
@@ -561,37 +768,20 @@ class ServingEngine:
         cols = min(workload.config.d_model, self.SAMPLE_COLS)
         mask = np.zeros((rows, cols), dtype=bool)
         live = int(round(density * rows))
+        if workload.total_tokens > 0:
+            # A non-empty workload must never present an all-false mask to
+            # Algorithm 1: one real token in a heavily padded batch rounds
+            # to zero live rows, which would plan for an empty operator.
+            live = max(1, live)
         mask[:live] = True
         return mask
 
     def _quantize(self, x: float) -> int:
         return int(round(x / self.plan_cache.quantum))
 
-    def _resolve_plan(self, kind: str, m: int, k: int, n: int, signature,
-                      make_samples):
-        """Deprecated: build a :class:`~repro.core.plan.PlanSpec` and call
-        ``self.planner.resolve(spec, make_samples)``.
-
-        Kept for one release of compatibility (the legacy kind ``"act"``
-        maps to ``"ffn-act"``); returns the bare
-        :class:`~repro.core.selection.KernelChoice` like it always did.
-        """
-        warnings.warn(
-            "ServingEngine._resolve_plan is deprecated; build a PlanSpec "
-            "and resolve it through ServingEngine.planner",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        kind = {"act": "ffn-act"}.get(kind, kind)
-        spec = PlanSpec(
-            kind=kind, m=m, k=k, n=n, signature=tuple(signature),
-            tiledb_key=self.tiledb.cache_key,
-        )
-        return self.planner.resolve(spec, make_samples).choice
-
-    def _plan_requests(self, workload: Workload):
+    def _plan_requests(self, workload: Workload, tiledb_key: tuple):
         """Yield ``(PlanSpec, make_samples)`` for every plan a batch of this
-        workload needs.
+        workload needs, against the tile database named by ``tiledb_key``.
 
         Specs are derived from the workload's *summary statistics*, so the
         steady-state path never touches a mask — that is what keeps a hit
@@ -600,9 +790,11 @@ class ServingEngine:
         miss.  All four serving plan kinds come from here: the token
         projection, the activation-sparse FFN, the dynamic attention cover
         and the grouped MoE dispatch over the (merged) routing tables.
+        ``tiledb_key`` is the target device class's — plans are
+        device-specific, so the same workload names different specs on an
+        A100 than on a V100.
         """
         cfg = workload.config
-        tiledb_key = self.tiledb.cache_key
         padded = workload.max_len * workload.batch_size
         density = workload.total_tokens / max(1, padded)
         m = self.SAMPLE_ROWS
@@ -657,8 +849,10 @@ class ServingEngine:
                 lambda: [routing_sample_mask(counts, mrows)],
             )
 
-    def _select_plans(self, workload: Workload) -> tuple:
-        """Resolve the batch's kernel plans through the Planner.
+    def _select_plans(
+        self, workload: Workload, device: Optional[DeviceClass] = None
+    ) -> tuple:
+        """Resolve the batch's kernel plans through ``device``'s Planner.
 
         Returns ``(plans, wall_us, hits, misses)``: ``plans`` maps plan
         kind to its :class:`~repro.core.plan.ResolvedPlan` (choice +
@@ -666,11 +860,14 @@ class ServingEngine:
         lookups/searches took — the serving-side analogue of Section 5.5's
         online search overhead.
         """
+        device = device if device is not None else self.device_for_replica(0)
         hits0, misses0 = self.plan_cache.hits, self.plan_cache.misses
         plans = {}
         start = time.perf_counter()
-        for spec, make_samples in self._plan_requests(workload):
-            plans[spec.kind] = self.planner.resolve(spec, make_samples)
+        for spec, make_samples in self._plan_requests(
+            workload, device.tiledb.cache_key
+        ):
+            plans[spec.kind] = device.planner.resolve(spec, make_samples)
         wall_us = (time.perf_counter() - start) * 1e6
         hits = self.plan_cache.hits - hits0
         misses = self.plan_cache.misses - misses0
@@ -683,11 +880,25 @@ class ServingEngine:
         ``PlanCache.load(path, expected_tiledb_key=...)`` serves the same
         traffic with zero cold searches — every serving-path plan kind is
         keyed by a serializable :class:`~repro.core.plan.PlanSpec`.
+
+        The dump header records the *primary* device class's TileDB key
+        (the coarse transfer guard ``PlanCache.load`` validates); a
+        heterogeneous engine's cache also holds entries for its other
+        classes, each carrying its own ``tiledb_key`` inside the plan key,
+        so reviving the dump in an engine with the same lineup keeps every
+        class warm — per-entry keys, not the header, are what planners
+        match at resolve time.  Validate against the reviving engine's
+        primary class (or pass ``expected_tiledb_key=None`` for a mixed
+        dump consumed by a different-primary lineup).
         """
         return self.plan_cache.save(path, tiledb_key=self.tiledb.cache_key)
 
     def speculate_plans(
-        self, workload: Workload, *, issued_us: float
+        self,
+        workload: Workload,
+        *,
+        issued_us: float,
+        device: Optional[DeviceClass] = None,
     ) -> SpeculativeSelection:
         """Resolve ``workload``'s plans ahead of batch closure.
 
@@ -695,16 +906,21 @@ class ServingEngine:
         the first admitted request's workload: a cold search warms the
         :class:`PlanCache` while the batch is still collecting partners, so
         by close time the merged workload usually resolves with lookups.
-        Returns the accounting record the scheduler uses to overlap the
-        search with the target replica's prior compute.
+        ``device`` is the scheduler's *predicted* placement target — plans
+        are device-specific, so speculation resolves against the class the
+        batch is expected to execute on.  Returns the accounting record the
+        scheduler uses to overlap the search with the target replica's
+        prior compute.
         """
-        plans, search_us, hits, misses = self._select_plans(workload)
+        device = device if device is not None else self.device_for_replica(0)
+        plans, search_us, hits, misses = self._select_plans(workload, device)
         return SpeculativeSelection(
             issued_us=issued_us,
             search_us=search_us,
             cache_hits=hits,
             cache_misses=misses,
             plan_kinds={kind: plan.cold for kind, plan in plans.items()},
+            device=device.name,
         )
 
     # ------------------------------------------------------------------
@@ -718,14 +934,20 @@ class ServingEngine:
         start_us: float,
         replica_id: int = 0,
         speculation: Optional[SpeculativeSelection] = None,
+        device: Optional[DeviceClass] = None,
+        workload: Optional[Workload] = None,
     ) -> tuple:
         """Plan, execute and account one closed batch at ``start_us``.
 
         Shared by the drain path and the continuous scheduler: resolves the
         batch's kernel plans through the engine's :class:`PlanCache` (one
         cache regardless of which replica executes, so a cold search on any
-        replica warms every replica), prices the merged workload on the
-        device model, and returns ``(BatchReport, [RequestReport])``.
+        replica warms every replica *of that device class*), prices the
+        merged workload on the target device model, and returns
+        ``(BatchReport, [RequestReport])``.  ``device`` is the class of the
+        replica executing the batch — plans resolve against its planner and
+        execution runs on its backend; it defaults to the class serving
+        ``replica_id``.
 
         ``speculation`` is the batch-open search the scheduler issued.  Its
         hits/misses/wall-time fold into the batch's accounting; a *cold*
@@ -733,9 +955,16 @@ class ServingEngine:
         scheduler already charged it against the open window and the
         replica's prior compute (the overlap model) — only the close-time
         residual selection stays serial with execution.
+
+        ``workload`` is the batch's merged workload when the caller (the
+        scheduler, which merged it for placement pricing) already has it;
+        otherwise it is merged here.
         """
-        workload = merge_workloads([r.workload for r in batch])
-        plans, residual_us, hits, misses = self._select_plans(workload)
+        if device is None:
+            device = self.device_for_replica(replica_id)
+        if workload is None:
+            workload = merge_workloads([r.workload for r in batch])
+        plans, residual_us, hits, misses = self._select_plans(workload, device)
         plan_kinds = {kind: plan.cold for kind, plan in plans.items()}
         selection_us = residual_us
         serial_us = residual_us
@@ -753,7 +982,7 @@ class ServingEngine:
                 serial_us += speculation.search_us
         run = run_transformer(
             workload,
-            self.backend,
+            device.backend,
             mode=self.mode,
             enforce_memory=self.enforce_memory,
             devices=self.devices,
@@ -799,8 +1028,9 @@ class ServingEngine:
         ``policy="continuous"`` delegates batching and placement to the
         event-driven :class:`~repro.runtime.scheduler.ContinuousScheduler`
         (open batches admit arrivals until a budget or the batching window
-        closes them; closed batches place onto the least-loaded of
-        ``self.replicas`` replicas).
+        closes them; closed batches place across ``self.replicas`` replicas
+        — cost-aware by predicted finish time, or least-loaded with
+        ``placement="least-loaded"``).
         """
         if policy == "continuous":
             from .scheduler import ContinuousScheduler
@@ -811,6 +1041,7 @@ class ServingEngine:
                 replicas=self.replicas,
                 batch_window_us=self.batch_window_us,
                 overlap_selection=self.overlap_selection,
+                placement=self.placement,
             )
             return scheduler.run(requests)
         if policy != "drain":

@@ -55,6 +55,24 @@ def make_backend(
     return _resolve_backend(name)(spec, dtype, **kwargs)
 
 
+def make_replica_backends(
+    name: str, specs, dtype: str = "float32", **kwargs
+) -> dict:
+    """One backend per *distinct* device spec of a replica lineup.
+
+    A heterogeneous fleet (mixed A100/V100 replicas) needs one backend —
+    and therefore one TileDB — per device class, not per replica: two A100
+    replicas share profiles, plans and kernels.  Returns an insertion-ordered
+    ``{GPUSpec: ModelBackend}`` dict keyed by the frozen spec, in first-seen
+    lineup order.
+    """
+    backends: dict = {}
+    for spec in specs:
+        if spec not in backends:
+            backends[spec] = make_backend(name, spec, dtype, **kwargs)
+    return backends
+
+
 def validate_backend_kwargs(name: str, kwargs: dict) -> Optional[str]:
     """Check that ``kwargs`` bind to the backend's constructor signature.
 

@@ -171,6 +171,17 @@ class TestPlanner:
         s2 = planner.make_spec("proj", [m2], 256, 256, 256)
         assert s1 == s2
 
+    def test_resolve_records_device_provenance(self, tiledb):
+        """Plans are device-specific: the resolved plan names the device
+        class whose tile database it was selected against, hit or miss."""
+        planner = Planner(tiledb)
+        mask = granular_mask((256, 256), (8, 1), 0.95, seed=0)
+        spec = planner.make_spec("proj", [mask], 256, 256, 256)
+        cold = planner.resolve(spec, lambda: [mask])
+        warm = planner.resolve(spec)
+        assert cold.device == tiledb.spec.name
+        assert warm.device == tiledb.spec.name
+
     def test_memo_keys_never_collide_with_plans(self, tiledb):
         planner = Planner(tiledb)
         mask = granular_mask((256, 256), (8, 1), 0.95, seed=0)

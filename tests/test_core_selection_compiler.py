@@ -445,14 +445,10 @@ class TestCompiler:
         assert self._compile(compiler, [dense], 256, 256, 256) is c2
         assert self._compile(compiler, [sparse], 256, 256, 256) is c1
 
-    def test_compile_matmul_shim_warns_and_delegates(self):
-        """One release of compatibility: the legacy entry point still works
-        but routes through the Planner and announces the migration."""
-        compiler = PITCompiler(V100)
-        mask = granular_mask((256, 256), (8, 1), 0.99)
-        with pytest.warns(DeprecationWarning, match="plan_spec"):
-            legacy = compiler.compile_matmul([mask], 256, 256, 256)
-        assert self._compile(compiler, [mask], 256, 256, 256) is legacy
+    def test_legacy_compile_matmul_shim_removed(self):
+        """The one-release deprecation shim is gone: the PlanSpec API
+        (``plan_spec`` + ``compile``) is the only compile entry point."""
+        assert not hasattr(PITCompiler, "compile_matmul")
 
     def test_cold_compile_without_samples_raises(self):
         compiler = PITCompiler(V100)

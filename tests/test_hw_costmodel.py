@@ -22,6 +22,7 @@ from repro.hw import (
     matmul_step_time_us,
     matmul_tile_fixed_time_us,
     matmul_tile_time_us,
+    predicted_finish_us,
     softmax_time_us,
     sparse_matmul_time_us,
 )
@@ -179,3 +180,18 @@ class TestBandwidthBoundOps:
         fp32 = elementwise_time_us(1 << 24, "float32", V100)
         fp16 = elementwise_time_us(1 << 24, "float16", V100)
         assert fp16 < fp32
+
+
+class TestPredictedFinish:
+    def test_busy_replica_waits_then_runs(self):
+        assert predicted_finish_us(100.0, 250.0, 40.0) == pytest.approx(290.0)
+
+    def test_idle_replica_starts_at_close(self):
+        assert predicted_finish_us(100.0, 0.0, 40.0) == pytest.approx(140.0)
+
+    def test_unservable_batch_prices_infinite(self):
+        assert predicted_finish_us(100.0, 0.0, float("inf")) == float("inf")
+
+    def test_negative_estimate_rejected(self):
+        with pytest.raises(ValueError):
+            predicted_finish_us(0.0, 0.0, -1.0)

@@ -2,7 +2,15 @@
 
 import pytest
 
-from repro.hw import A100, V100, V100_16GB, GPUSpec, dtype_bytes, get_gpu
+from repro.hw import (
+    A100,
+    V100,
+    V100_16GB,
+    GPUSpec,
+    dtype_bytes,
+    get_gpu,
+    parse_lineup,
+)
 
 
 class TestDtypeBytes:
@@ -65,3 +73,25 @@ class TestRegistry:
     def test_specs_are_frozen(self):
         with pytest.raises(Exception):
             A100.num_sms = 1  # type: ignore[misc]
+
+
+class TestParseLineup:
+    def test_single_device(self):
+        assert parse_lineup("v100") == [V100]
+
+    def test_counts_and_mixed_classes_preserve_order(self):
+        assert parse_lineup("2xa100+v100") == [A100, A100, V100]
+        assert parse_lineup("v100-16gb, 2 x a100") == [
+            V100_16GB, A100, A100,
+        ]
+
+    def test_case_insensitive_throughout(self):
+        assert parse_lineup("2XA100+V100") == [A100, A100, V100]
+
+    def test_unknown_device_raises(self):
+        with pytest.raises(KeyError, match="known GPUs"):
+            parse_lineup("a100+h100")
+
+    def test_empty_term_raises(self):
+        with pytest.raises(ValueError, match="empty term"):
+            parse_lineup("a100++v100")

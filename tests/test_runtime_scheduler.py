@@ -356,6 +356,137 @@ class TestSelectionOverlap:
         assert report.overlap_saved_us == 0.0
 
 
+class TestCostAwarePlacement:
+    """Property tests for heterogeneous cost-aware placement."""
+
+    @staticmethod
+    def _stream(engine, n=10, gap_us=800.0):
+        engine.submit_many(
+            [bert_workload("mnli", 8, seed=s) for s in range(n)],
+            interarrival_us=gap_us,
+        )
+
+    @staticmethod
+    def _placement(report):
+        """The deterministic placement record of a run."""
+        return [
+            (tuple(b.request_ids), b.replica_id, b.tokens, b.padded_tokens)
+            for b in report.batches
+        ]
+
+    def test_identical_lineup_reproduces_least_loaded_exactly(self):
+        """With all-identical replica specs the exec estimate is one
+        constant per signature, so ordering by predicted finish collapses
+        to the legacy (free_at, id) order: placement must match the
+        least-loaded scheduler decision for decision."""
+        def serve(placement):
+            cache = PlanCache()
+            engine = make_engine(
+                replicas=3, placement=placement, plan_cache=cache,
+                max_batch_size=2, batch_window_us=500.0,
+                overlap_selection=False,
+            )
+            self._stream(engine)
+            engine.run(policy="continuous")  # warm the plan cache
+            self._stream(engine)
+            return engine.run(policy="continuous")
+
+        least_loaded = serve("least-loaded")
+        cost_aware = serve("cost-aware")
+        assert self._placement(cost_aware) == self._placement(least_loaded)
+        assert [
+            (s.replica_id, s.device, s.batches, s.tokens)
+            for s in cost_aware.replica_stats
+        ] == [
+            (s.replica_id, s.device, s.batches, s.tokens)
+            for s in least_loaded.replica_stats
+        ]
+
+    def test_faster_replica_never_receives_fewer_batches(self):
+        """Under uniform traffic a strictly-faster device class must end up
+        with at least as many batches as a strictly-slower one — the slow
+        device is listed first so naive id-order ties would favour it."""
+        from repro.hw import A100
+
+        engine = make_engine(
+            replica_specs=[V100, A100], max_batch_size=2,
+            batch_window_us=500.0,
+        )
+        self._stream(engine, n=12, gap_us=600.0)
+        report = engine.run(policy="continuous")
+        by_id = {s.replica_id: s for s in report.replica_stats}
+        assert by_id[0].device == V100.name
+        assert by_id[1].device == A100.name
+        assert by_id[1].batches >= by_id[0].batches
+
+    def test_idle_fleet_prefers_the_faster_device(self):
+        """A batch closing with every replica idle goes to the device that
+        finishes it soonest, not to replica id 0."""
+        from repro.hw import A100
+
+        engine = make_engine(replica_specs=[V100, A100])
+        engine.submit(bert_workload("mnli", 4, seed=0))
+        report = engine.run(policy="continuous")
+        assert [b.replica_id for b in report.batches] == [1]
+
+    def test_replica_stats_device_survives_round_trip(self):
+        import dataclasses
+
+        from repro.hw import A100
+        from repro.runtime import ReplicaStats
+
+        engine = make_engine(replica_specs=[A100, V100])
+        engine.submit(bert_workload("mnli", 4, seed=0))
+        report = engine.run(policy="continuous")
+        for stats in report.replica_stats:
+            clone = ReplicaStats(**dataclasses.asdict(stats))
+            assert clone == stats
+        assert {s.device for s in report.replica_stats} == {
+            A100.name, V100.name
+        }
+
+    def test_added_replicas_of_seen_classes_add_no_cold_searches(self):
+        from repro.hw import A100
+
+        cache = PlanCache()
+
+        def serve(specs):
+            # A same-instant backlog of identical singleton batches forces
+            # every device class into service, so the warm-up run resolves
+            # the traffic signature's plans for both classes (one seed:
+            # the property under test is per (signature, class) coverage,
+            # not per-seed signature drift).
+            engine = make_engine(replica_specs=specs, plan_cache=cache,
+                                 max_batch_size=1, batch_window_us=0.0)
+            engine.submit_many(
+                [bert_workload("mnli", 8, seed=0) for _ in range(8)],
+                interarrival_us=0.0,
+            )
+            return engine.run(policy="continuous")
+
+        warmup = serve([A100, V100])
+        assert len({b.replica_id for b in warmup.batches}) == 2
+        misses_after_warmup = cache.misses
+        report = serve([A100, A100, V100, V100])
+        assert cache.misses == misses_after_warmup
+        assert all(b.cache_misses == 0 for b in report.batches)
+
+    def test_describe_reports_device_classes(self):
+        from repro.hw import A100
+
+        engine = make_engine(replica_specs=[A100, V100])
+        engine.submit(bert_workload("mnli", 4, seed=0))
+        report = engine.run(policy="continuous")
+        text = report.describe()
+        assert "device classes:" in text
+        assert A100.name in text and V100.name in text
+        per_class = report.device_class_stats()
+        assert set(per_class) == {A100.name, V100.name}
+        assert sum(agg["batches"] for agg in per_class.values()) == len(
+            report.batches
+        )
+
+
 class TestSchedulerValidation:
     def test_replica_count_validated(self):
         with pytest.raises(ValueError):

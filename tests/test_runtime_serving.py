@@ -273,15 +273,10 @@ class TestServingRun:
         kinds2 = report2.selection_summary()["plans_by_kind"]
         assert kinds2["attention"] == {"resolved": 1, "cold": 0}
 
-    def test_resolve_plan_shim_warns_and_resolves(self):
-        engine = make_engine()
-        mask = np.zeros((64, 32), dtype=bool)
-        mask[:8] = True
-        with pytest.warns(DeprecationWarning, match="PlanSpec"):
-            choice = engine._resolve_plan(
-                "act", 64, 32, 32, (5,), lambda: [mask]
-            )
-        assert choice.est_cost_us > 0
+    def test_legacy_resolve_plan_shim_removed(self):
+        """The one-release deprecation shim is gone: serving plans resolve
+        only through ``ServingEngine.planner`` as PlanSpecs."""
+        assert not hasattr(ServingEngine, "_resolve_plan")
 
 
 class TestPlanPersistence:
@@ -435,6 +430,198 @@ class TestFailureMetrics:
         assert report.throughput_tokens_per_s == pytest.approx(
             200 / (2000.0 / 1e6)
         )
+
+
+class TestSignatureQuantum:
+    """The engine's plan-cache quantum governs co-batching tolerance.
+
+    Regression: ``batch_signature`` used to hardcode ``SIGNATURE_QUANTUM``
+    while plan specs quantized with ``plan_cache.quantum`` — an engine
+    built with a non-default quantum co-batched at one tolerance and
+    cached plans at another, so "compatible" requests could resolve to
+    divergent plan signatures and silently defeat speculation.
+    """
+
+    @staticmethod
+    def _attn_request(request_id, density):
+        """A longformer request whose attention density is exactly set."""
+        import dataclasses
+
+        w = longformer_workload(seq_len=2048, batch_size=1, seed=0)
+        nnz = int(round(density * w.attn_stats.seq ** 2))
+        w.attn_stats = dataclasses.replace(w.attn_stats, nnz=nnz)
+        return InferenceRequest(request_id, w)
+
+    def test_default_quantum_buckets_together(self):
+        a = self._attn_request(0, 0.300)
+        b = self._attn_request(1, 0.306)
+        assert a.batch_signature() == b.batch_signature()
+
+    def test_finer_quantum_splits_the_bucket(self):
+        a = self._attn_request(0, 0.300)
+        b = self._attn_request(1, 0.306)
+        assert a.batch_signature(0.01) != b.batch_signature(0.01)
+
+    def test_engine_threads_its_quantum_into_batching(self):
+        """With ``PlanCache(quantum=0.01)`` the engine must batch at the
+        same 0.01 tolerance its plan specs quantize with: densities 0.300
+        and 0.306 land in one bucket at the default 0.05 but different
+        buckets at 0.01, so a fine-quantum engine keeps them apart."""
+        coarse = make_engine(plan_cache=PlanCache())
+        fine = make_engine(plan_cache=PlanCache(quantum=0.01))
+        requests = [self._attn_request(0, 0.300), self._attn_request(1, 0.306)]
+        assert [len(b) for b in coarse.plan_batches(requests)] == [2]
+        assert sorted(
+            len(b) for b in fine.plan_batches(requests)
+        ) == [1, 1]
+
+    def test_continuous_scheduler_uses_engine_quantum(self):
+        import dataclasses
+
+        engine = make_engine(
+            plan_cache=PlanCache(quantum=0.01), batch_window_us=4000.0
+        )
+        for rid, density in ((0, 0.300), (1, 0.306)):
+            w = longformer_workload(seq_len=2048, batch_size=1, seed=0)
+            nnz = int(round(density * w.attn_stats.seq ** 2))
+            w.attn_stats = dataclasses.replace(w.attn_stats, nnz=nnz)
+            engine.submit(w, arrival_us=rid * 100.0)
+        report = engine.run(policy="continuous")
+        assert sorted(b.size for b in report.batches) == [1, 1]
+
+
+class TestTokenMask:
+    def test_tiny_density_keeps_one_live_row(self):
+        """Regression: one real token in a heavily padded batch rounded to
+        zero live rows, feeding Algorithm 1 an all-false mask for a
+        non-empty workload."""
+        from repro.models.config import bert_base
+
+        from repro.models.workloads import Workload
+
+        engine = make_engine()
+        # One 4096-token sequence among 4095 single-token ones: density
+        # 8191 / (4096 * 4096) ~ 0.0005, which rounds to zero live rows.
+        lengths = np.array([4096] + [1] * 4095)
+        w = Workload(config=bert_base(), lengths=lengths)
+        assert 0 < w.total_tokens / (w.max_len * w.batch_size) < 1 / 1024
+        mask = engine._token_mask(w)
+        assert mask.any()
+        # Exactly the clamped single row, not some larger artifact.
+        assert mask.sum() == mask.shape[1]
+
+    def test_empty_workload_mask_stays_empty(self):
+        from repro.models.config import bert_base
+
+        from repro.models.workloads import Workload
+
+        engine = make_engine()
+        w = Workload(config=bert_base(), lengths=np.array([], dtype=int))
+        assert not engine._token_mask(w).any()
+
+
+class TestHeterogeneousEngine:
+    def test_distinct_device_classes_share_backends(self):
+        from repro.hw import A100
+
+        engine = make_engine(replica_specs=[A100, A100, V100])
+        assert engine.replicas == 3
+        assert len(engine.device_classes) == 2
+        # Replicas of one class share the backend/TileDB/planner.
+        d0, d1, d2 = (engine.device_for_replica(i) for i in range(3))
+        assert d0 is d1
+        assert d2 is not d0
+        assert d0.tiledb.cache_key != d2.tiledb.cache_key
+
+    def test_homogeneous_shorthand_is_one_class(self):
+        engine = make_engine(replicas=3)
+        assert engine.replicas == 3
+        assert len(engine.device_classes) == 1
+        assert engine.replica_specs == [V100, V100, V100]
+        assert engine.device_for_replica(1).backend is engine.backend
+
+    def test_conflicting_replica_counts_rejected(self):
+        from repro.hw import A100
+
+        with pytest.raises(ValueError, match="contradicts"):
+            make_engine(replicas=3, replica_specs=[A100, V100])
+        with pytest.raises(ValueError, match="at least one"):
+            make_engine(replica_specs=[])
+        with pytest.raises(ValueError, match="placement"):
+            make_engine(placement="round-robin")
+
+    def test_plan_resolution_targets_the_replica_device(self):
+        """A batch executed on a V100 replica of an A100-primary engine
+        resolves plans against the V100 tile database (and the resolved
+        plan records that provenance)."""
+        from repro.hw import A100
+
+        engine = ServingEngine(
+            A100,
+            replica_specs=[A100, V100],
+            max_batch_tokens=8192,
+            max_batch_size=8,
+        )
+        w = bert_workload("mnli", 4, seed=0)
+        plans, _, _, _ = engine._select_plans(
+            w, engine.device_for_replica(1)
+        )
+        assert all(
+            p.spec.tiledb_key == engine.device_for_replica(1).tiledb.cache_key
+            for p in plans.values()
+        )
+        assert all(p.device == V100.name for p in plans.values())
+
+    def test_estimate_exec_memoizes_per_class(self):
+        from repro.hw import A100
+
+        engine = make_engine(replica_specs=[V100, A100])
+        w = bert_workload("mnli", 4, seed=0)
+        sig = InferenceRequest(0, w).batch_signature(
+            engine.plan_cache.quantum
+        )
+        slow = engine.estimate_exec_us(sig, w, engine.device_for_replica(0))
+        fast = engine.estimate_exec_us(sig, w, engine.device_for_replica(1))
+        # A100 beats V100 on every axis, so the analytical estimate must
+        # order the classes.
+        assert fast < slow
+        assert len(engine._exec_estimates) == 2
+        engine.estimate_exec_us(sig, w, engine.device_for_replica(0))
+        assert len(engine._exec_estimates) == 2
+
+    def test_transient_estimates_do_not_seed_the_memo(self):
+        """The scheduler's batch-open prediction prices with a single
+        request (memoize=False): that must not install an entry the
+        dispatch-time merged-batch pricing would then reuse."""
+        engine = make_engine(replicas=2)
+        w = bert_workload("mnli", 4, seed=0)
+        sig = InferenceRequest(0, w).batch_signature(
+            engine.plan_cache.quantum
+        )
+        solo = engine.estimate_exec_us(
+            sig, w, engine.device_for_replica(0), memoize=False
+        )
+        assert solo > 0
+        assert len(engine._exec_estimates) == 0
+        merged = merge_workloads([w, bert_workload("mnli", 4, seed=1)])
+        est = engine.estimate_exec_us(
+            sig, merged, engine.device_for_replica(0)
+        )
+        assert len(engine._exec_estimates) == 1
+        # The memoized value is the merged batch's price, not the solo one.
+        assert est > solo
+
+    def test_pricing_does_not_touch_the_plan_cache(self):
+        from repro.hw import A100
+
+        cache = PlanCache()
+        engine = make_engine(replica_specs=[V100, A100], plan_cache=cache)
+        w = bert_workload("mnli", 4, seed=0)
+        sig = InferenceRequest(0, w).batch_signature(cache.quantum)
+        before = (cache.hits, cache.misses, len(cache))
+        for i in range(2):
+            engine.estimate_exec_us(sig, w, engine.device_for_replica(i))
+        assert (cache.hits, cache.misses, len(cache)) == before
 
 
 class TestRequestSignatures:
