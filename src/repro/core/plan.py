@@ -295,6 +295,11 @@ class Planner:
         touches a mask).  Raises ``ValueError`` when the spec was built
         against a different tile database — a plan selected over other
         tiles would silently be wrong here.
+
+        Resolution is single-flight: concurrent resolves of the same spec
+        (the front end's replica workers racing on one traffic class) run
+        Algorithm 1 exactly once — one caller searches while the rest wait
+        on its result and report a hit.
         """
         if _freeze(spec.tiledb_key) != _freeze(self.tiledb.cache_key):
             raise ValueError(
@@ -303,16 +308,15 @@ class Planner:
             )
         start = time.perf_counter()
         key = spec.cache_key()
-        choice = self.cache.get(key)
-        hit = choice is not None
-        if not hit:
+
+        def search():
             if make_samples is None:
                 raise ValueError(
                     f"cold resolve of {spec.describe()} needs make_samples "
                     f"(the plan is not cached and Algorithm 1 has nothing "
                     f"to search over)"
                 )
-            choice = kernel_selection(
+            return kernel_selection(
                 make_samples(),
                 spec.m,
                 spec.k,
@@ -321,7 +325,8 @@ class Planner:
                 sparse_operand=spec.sparse_operand,
                 include_dense_fallback=spec.include_dense_fallback,
             )
-            self.cache.put(key, choice)
+
+        choice, hit = self.cache.get_or_compute(key, search)
         return ResolvedPlan(
             spec=spec,
             choice=choice,
@@ -341,8 +346,5 @@ class Planner:
         with resolved kernel plans.
         """
         key = ("memo",) + spec.cache_key()
-        value = self.cache.get(key)
-        if value is None:
-            value = compute()
-            self.cache.put(key, value)
+        value, _ = self.cache.get_or_compute(key, compute)
         return value

@@ -14,7 +14,10 @@ avoiding redundant passes over the samples.
 
 from __future__ import annotations
 
+import itertools
+import threading
 import time
+import zlib
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Optional
@@ -341,10 +344,39 @@ def sparsity_signature(sparsity_samples, *, quantum: float = SIGNATURE_QUANTUM):
 
 #: Process-wide shared plan caches by name — see :meth:`PlanCache.shared`.
 _SHARED_PLAN_CACHES: dict = {}
+_SHARED_PLAN_CACHES_LOCK = threading.Lock()
+
+#: Default shard count for new caches.  Eight shards keep bookkeeping
+#: contention negligible for the replica counts the serving stack runs
+#: (lineups of 2-8) without fragmenting the LRU into uselessly small slices.
+DEFAULT_PLAN_CACHE_SHARDS = 8
+
+
+class _PlanCacheShard:
+    """One lock domain of a :class:`PlanCache`.
+
+    ``entries`` maps key -> ``[value, stamp]`` where ``stamp`` is a
+    monotonically increasing recency counter shared by all shards, so a
+    global LRU order can be reconstructed (for persistence and age-out)
+    without any cross-shard coordination on the hot path.  ``inflight``
+    holds one :class:`threading.Event` per key whose Algorithm 1 search is
+    currently running — the single-flight protocol of
+    :meth:`PlanCache.get_or_compute`.
+    """
+
+    __slots__ = ("entries", "lock", "hits", "misses", "evictions", "inflight")
+
+    def __init__(self):
+        self.entries: OrderedDict = OrderedDict()
+        self.lock = threading.RLock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.inflight: dict = {}
 
 
 class PlanCache:
-    """LRU memo of kernel plans keyed by problem + quantized sparsity.
+    """Sharded, thread-safe LRU memo of kernel plans.
 
     The deployed PIT keeps its online search at 30-100us by reusing cover
     grids and pre-profiled tiles; a serving process goes one step further and
@@ -353,23 +385,94 @@ class PlanCache:
     ``(m, k, n, sparse_operand, signature, tiledb_key) -> KernelChoice``
     (arbitrary plan objects are accepted — the PIT backend memoizes its
     activation-cover workloads here too, so one cache serves one process).
+
+    Keys are routed to one of ``shards`` lock domains by their
+    ``(plan kind, sparsity signature)`` so that concurrent replicas serving
+    different traffic classes never contend on one lock, and
+    :meth:`get_or_compute` runs cold searches *outside* the shard lock with
+    single-flight deduplication — a cold Algorithm 1 search neither stalls
+    warm lookups on other shards nor on its own shard, and concurrent
+    requests for the same plan run the search exactly once.
+
+    ``capacity`` bounds the total entry count; eviction pops the LRU entry
+    of the shard an insert lands on (never the entry just inserted), so
+    with entries spread across shards the cache can transiently exceed
+    ``capacity`` by at most ``shards - 1``.  ``shards=1`` reproduces the
+    pre-sharding cache decision-for-decision.
     """
 
-    def __init__(self, capacity: int = 256, *, quantum: float = SIGNATURE_QUANTUM):
+    def __init__(
+        self,
+        capacity: int = 256,
+        *,
+        quantum: float = SIGNATURE_QUANTUM,
+        shards: int = DEFAULT_PLAN_CACHE_SHARDS,
+    ):
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
         self.capacity = capacity
         self.quantum = quantum
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
-        self._entries: OrderedDict = OrderedDict()
+        self.shards = shards
+        self._shard_list = [_PlanCacheShard() for _ in range(shards)]
+        self._stamp = itertools.count()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return sum(len(s.entries) for s in self._shard_list)
 
     def __contains__(self, key) -> bool:
-        return key in self._entries
+        shard = self._shard_for(key)
+        with shard.lock:
+            return key in shard.entries
+
+    # -- counters ---------------------------------------------------------
+
+    @property
+    def hits(self) -> int:
+        return sum(s.hits for s in self._shard_list)
+
+    @property
+    def misses(self) -> int:
+        return sum(s.misses for s in self._shard_list)
+
+    @property
+    def evictions(self) -> int:
+        return sum(s.evictions for s in self._shard_list)
+
+    # -- shard routing ----------------------------------------------------
+
+    @staticmethod
+    def _shard_token(key):
+        """The (plan kind, signature) portion of a cache key.
+
+        Recognizes the two key layouts this process produces — PlanSpec
+        keys ``("plan", kind, m, k, n, operand, signature, fallback, db)``
+        (optionally wrapped in a ``("memo", ...)`` namespace) and the legacy
+        6-tuple ``(m, k, n, operand, (signature, fallback), db)`` — and
+        falls back to the whole key for ad-hoc entries.  A spec and its
+        memos co-shard, and so do a legacy key and its PlanSpec equivalent
+        for one traffic class, which is what makes "different traffic never
+        contends" hold.
+        """
+        body = key
+        if isinstance(body, tuple) and body and body[0] == "memo":
+            body = body[1:]
+        if isinstance(body, tuple):
+            if len(body) == 9 and body[0] == "plan":
+                return (body[1], body[6])
+            if len(body) == 6 and isinstance(body[4], tuple):
+                return (None, body[4])
+        return key
+
+    def _shard_for(self, key) -> _PlanCacheShard:
+        if self.shards == 1:
+            return self._shard_list[0]
+        token = self._shard_token(key)
+        index = zlib.crc32(repr(token).encode("utf-8")) % self.shards
+        return self._shard_list[index]
+
+    # -- registry ---------------------------------------------------------
 
     @classmethod
     def shared(
@@ -378,6 +481,7 @@ class PlanCache:
         *,
         capacity: int = 256,
         quantum: float = SIGNATURE_QUANTUM,
+        shards: int = DEFAULT_PLAN_CACHE_SHARDS,
     ) -> "PlanCache":
         """The process-wide cache registered under ``name``.
 
@@ -385,99 +489,227 @@ class PlanCache:
         (and the replica scheduler builds none of its own — it deliberately
         rides its engine's cache); this is the analogue of
         :meth:`~repro.core.tiledb.TileDB.shared` for plan memos, so separate
-        engines in one process can warm each other.  ``capacity`` and
-        ``quantum`` apply on first construction; a later call with different
-        values for the same name raises rather than silently handing back a
-        cache with other parameters.
+        engines in one process can warm each other.  ``capacity``,
+        ``quantum`` and ``shards`` apply on first construction; a later call
+        with different values for the same name raises rather than silently
+        handing back a cache with other parameters.  Registry access is
+        serialized — concurrent first calls from the front end's workers
+        observe exactly one instance.
         """
-        cache = _SHARED_PLAN_CACHES.get(name)
-        if cache is None:
-            cache = cls(capacity, quantum=quantum)
-            _SHARED_PLAN_CACHES[name] = cache
+        with _SHARED_PLAN_CACHES_LOCK:
+            cache = _SHARED_PLAN_CACHES.get(name)
+            if cache is None:
+                cache = cls(capacity, quantum=quantum, shards=shards)
+                _SHARED_PLAN_CACHES[name] = cache
+                return cache
+            if (
+                cache.capacity != capacity
+                or cache.quantum != quantum
+                or cache.shards != shards
+            ):
+                raise ValueError(
+                    f"shared plan cache {name!r} exists with capacity="
+                    f"{cache.capacity}, quantum={cache.quantum}, "
+                    f"shards={cache.shards}; requested capacity={capacity}, "
+                    f"quantum={quantum}, shards={shards}"
+                )
             return cache
-        if cache.capacity != capacity or cache.quantum != quantum:
-            raise ValueError(
-                f"shared plan cache {name!r} exists with capacity="
-                f"{cache.capacity}, quantum={cache.quantum}; requested "
-                f"capacity={capacity}, quantum={quantum}"
-            )
-        return cache
 
     @staticmethod
     def clear_shared() -> None:
         """Drop the shared instances (tests that vary cache parameters)."""
-        _SHARED_PLAN_CACHES.clear()
+        with _SHARED_PLAN_CACHES_LOCK:
+            _SHARED_PLAN_CACHES.clear()
 
     def make_key(
         self, m: int, k: int, n: int, sparse_operand: str, signature, tiledb_key
     ):
         return (m, k, n, sparse_operand, signature, tiledb_key)
 
+    # -- lookups ----------------------------------------------------------
+
     def get(self, key):
         """Look up a plan; counts a hit or a miss and refreshes recency."""
-        try:
-            value = self._entries[key]
-        except KeyError:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return value
+        shard = self._shard_for(key)
+        with shard.lock:
+            try:
+                slot = shard.entries[key]
+            except KeyError:
+                shard.misses += 1
+                return None
+            shard.entries.move_to_end(key)
+            slot[1] = next(self._stamp)
+            shard.hits += 1
+            return slot[0]
 
     def put(self, key, value) -> None:
-        self._entries[key] = value
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.evictions += 1
+        shard = self._shard_for(key)
+        with shard.lock:
+            shard.entries[key] = [value, next(self._stamp)]
+            shard.entries.move_to_end(key)
+            while len(self) > self.capacity and len(shard.entries) > 1:
+                shard.entries.popitem(last=False)
+                shard.evictions += 1
 
-    #: On-disk dump format version; bumped whenever key/value encoding changes.
-    DUMP_FORMAT = 1
+    def get_or_compute(self, key, compute):
+        """Single-flight lookup-or-search; returns ``(value, hit)``.
 
-    def save(self, path, *, tiledb_key) -> dict:
+        On a hit, behaves exactly like :meth:`get`.  On a miss, the caller
+        becomes the *owner* of the search for ``key``: the shard lock is
+        released while ``compute()`` runs, so warm lookups — even on the
+        same shard — proceed during a cold Algorithm 1 search.  Concurrent
+        callers for the same key wait on the owner's result and count a hit
+        (the search ran once), so hit/miss totals match the sequential
+        schedule.  If the owner's ``compute`` raises, waiters retry —
+        exactly one of them becomes the next owner.
+        """
+        shard = self._shard_for(key)
+        while True:
+            with shard.lock:
+                slot = shard.entries.get(key)
+                if slot is not None:
+                    shard.entries.move_to_end(key)
+                    slot[1] = next(self._stamp)
+                    shard.hits += 1
+                    return slot[0], True
+                waiter = shard.inflight.get(key)
+                if waiter is None:
+                    shard.inflight[key] = threading.Event()
+                    shard.misses += 1
+                    break
+            # Another thread owns the search for this key; wait and re-check.
+            waiter.wait()
+        try:
+            value = compute()
+        except BaseException:
+            with shard.lock:
+                event = shard.inflight.pop(key, None)
+            if event is not None:
+                event.set()
+            raise
+        self.put(key, value)
+        with shard.lock:
+            event = shard.inflight.pop(key, None)
+        if event is not None:
+            event.set()
+        return value, False
+
+    #: On-disk dump format version; bumped whenever key/value encoding
+    #: changes.  Format 2 adds the ``shards`` and multi-class
+    #: ``tiledb_keys`` headers; format-1 dumps still load.
+    DUMP_FORMAT = 2
+
+    @staticmethod
+    def _embedded_tiledb_key(key):
+        """The TileDB identity a cache key carries, if any.
+
+        Every plan and memo key ends in a
+        :attr:`~repro.core.tiledb.TileDB.cache_key` — a 4-tuple led by a
+        :class:`~repro.hw.spec.GPUSpec`.  Ad-hoc keys return ``None``.
+        """
+        if isinstance(key, tuple) and key:
+            last = key[-1]
+            if (
+                isinstance(last, tuple)
+                and len(last) == 4
+                and isinstance(last[0], GPUSpec)
+            ):
+                return last
+        return None
+
+    def save(self, path, *, tiledb_key, max_entries: Optional[int] = None) -> dict:
         """Persist the cache to ``path`` as JSON.
 
         ``tiledb_key`` is the :attr:`~repro.core.tiledb.TileDB.cache_key`
-        of the tile database the cached plans were selected against; it is
-        recorded in the dump header so :meth:`load` can refuse a dump that
-        was built over different tiles (such plans would silently misprice).
+        of the *primary* tile database the cached plans were selected
+        against; it is recorded in the dump header so :meth:`load` can
+        refuse a dump that was built over different tiles (such plans would
+        silently misprice).  Mixed lineups cache plans for several device
+        classes in one process-wide cache, so the header additionally
+        records ``tiledb_keys`` — every class identity found among the
+        saved entries — and :meth:`load` can validate against the full set.
+
+        ``max_entries`` is the spill/age policy: when set, only the
+        ``max_entries`` most recently used entries are persisted (global
+        LRU order across shards) and the rest age out of the dump.  Replay
+        against the dump stays zero-cold-search for every entry under the
+        cap.
 
         Entries whose key or value cannot be serialized (ad-hoc objects a
         caller memoized) are skipped, not fatal.  Returns
-        ``{"entries": saved, "skipped": skipped}``.
+        ``{"entries": saved, "skipped": skipped, "aged_out": aged_out}``.
         """
         import json
 
         from .plan import encode_value
 
+        if max_entries is not None and max_entries < 0:
+            raise ValueError("max_entries must be >= 0")
+
+        items = []
+        for shard in self._shard_list:
+            with shard.lock:
+                items.extend(
+                    (slot[1], key, slot[0])
+                    for key, slot in shard.entries.items()
+                )
+        items.sort(key=lambda item: item[0])  # oldest first
+        aged_out = 0
+        if max_entries is not None and len(items) > max_entries:
+            aged_out = len(items) - max_entries
+            items = items[aged_out:]
+
+        primary = tuple(tiledb_key)
+        class_keys = {primary: None}  # insertion-ordered set, primary first
         entries = []
         skipped = 0
-        for key, value in self._entries.items():
+        for _, key, value in items:
             try:
                 entries.append(
                     {"key": encode_value(key), "value": encode_value(value)}
                 )
             except TypeError:
                 skipped += 1
+                continue
+            embedded = self._embedded_tiledb_key(key)
+            if embedded is not None:
+                class_keys.setdefault(embedded, None)
         payload = {
             "format": self.DUMP_FORMAT,
             "capacity": self.capacity,
             "quantum": self.quantum,
-            "tiledb_key": encode_value(tuple(tiledb_key)),
+            "shards": self.shards,
+            "tiledb_key": encode_value(primary),
+            "tiledb_keys": [encode_value(k) for k in class_keys],
             "entries": entries,
         }
         with open(path, "w") as f:
             json.dump(payload, f)
-        return {"entries": len(entries), "skipped": skipped}
+        return {"entries": len(entries), "skipped": skipped, "aged_out": aged_out}
 
     @classmethod
-    def load(cls, path, *, expected_tiledb_key=None) -> "PlanCache":
+    def load(
+        cls,
+        path,
+        *,
+        expected_tiledb_key=None,
+        expected_tiledb_keys=None,
+        shards: Optional[int] = None,
+    ) -> "PlanCache":
         """Revive a cache saved by :meth:`save` (fresh hit/miss counters).
 
-        When ``expected_tiledb_key`` is given, the dump's recorded TileDB
-        identity must match it exactly — a dump built against a different
-        device/dtype/tile budget raises ``ValueError`` instead of silently
-        serving plans that were selected over other tiles.
+        When ``expected_tiledb_key`` is given, the dump's recorded *primary*
+        TileDB identity must match it exactly — a dump built against a
+        different device/dtype/tile budget raises ``ValueError`` instead of
+        silently serving plans that were selected over other tiles.
+
+        When ``expected_tiledb_keys`` is given (a mixed lineup's full set of
+        class identities), *every* class the dump contains must be in the
+        expected set; a dump carrying plans for a foreign device class
+        raises and names the offending class.
+
+        ``shards`` overrides the revived cache's shard count (defaults to
+        the dump header's, or the library default for format-1 dumps).
         """
         import json
 
@@ -486,10 +718,10 @@ class PlanCache:
         with open(path) as f:
             payload = json.load(f)
         fmt = payload.get("format")
-        if fmt != cls.DUMP_FORMAT:
+        if fmt not in (1, cls.DUMP_FORMAT):
             raise ValueError(
                 f"unsupported plan-cache dump format {fmt!r} "
-                f"(this build reads format {cls.DUMP_FORMAT})"
+                f"(this build reads formats 1 and {cls.DUMP_FORMAT})"
             )
         dump_key = decode_value(payload["tiledb_key"])
         if expected_tiledb_key is not None and dump_key != tuple(expected_tiledb_key):
@@ -498,11 +730,29 @@ class PlanCache:
                 f"which does not match the expected {tuple(expected_tiledb_key)!r}; "
                 f"plans selected over different tiles are not transferable"
             )
-        cache = cls(payload["capacity"], quantum=payload["quantum"])
+        dump_keys = [
+            decode_value(k)
+            for k in payload.get("tiledb_keys", [payload["tiledb_key"]])
+        ]
+        if expected_tiledb_keys is not None:
+            allowed = {tuple(k) for k in expected_tiledb_keys}
+            foreign = [k for k in dump_keys if tuple(k) not in allowed]
+            if foreign:
+                raise ValueError(
+                    f"plan-cache dump contains plans selected against TileDB "
+                    f"{foreign[0]!r}, which does not match any expected device "
+                    f"class; plans selected over different tiles are not "
+                    f"transferable"
+                )
+        if shards is None:
+            shards = payload.get("shards", DEFAULT_PLAN_CACHE_SHARDS)
+        cache = cls(payload["capacity"], quantum=payload["quantum"], shards=shards)
+        # Entries were dumped oldest-first, so inserting in file order
+        # rebuilds the global recency order exactly.
         for entry in payload["entries"]:
-            cache._entries[decode_value(entry["key"])] = decode_value(
-                entry["value"]
-            )
+            key = decode_value(entry["key"])
+            shard = cache._shard_for(key)
+            shard.entries[key] = [decode_value(entry["value"]), next(cache._stamp)]
         return cache
 
     @property
@@ -512,8 +762,9 @@ class PlanCache:
 
     def stats(self) -> dict:
         return {
-            "size": len(self._entries),
+            "size": len(self),
             "capacity": self.capacity,
+            "shards": self.shards,
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
@@ -521,7 +772,9 @@ class PlanCache:
         }
 
     def clear(self) -> None:
-        self._entries.clear()
+        for shard in self._shard_list:
+            with shard.lock:
+                shard.entries.clear()
 
 
 def cached_kernel_selection(
@@ -555,17 +808,16 @@ def cached_kernel_selection(
         (signature, include_dense_fallback),
         getattr(tiledb, "cache_key", id(tiledb)),
     )
-    choice = cache.get(key)
-    if choice is not None:
-        return choice
-    choice = kernel_selection(
-        sparsity_samples,
-        m,
-        k,
-        n,
-        tiledb,
-        sparse_operand=sparse_operand,
-        include_dense_fallback=include_dense_fallback,
+    choice, _ = cache.get_or_compute(
+        key,
+        lambda: kernel_selection(
+            sparsity_samples,
+            m,
+            k,
+            n,
+            tiledb,
+            sparse_operand=sparse_operand,
+            include_dense_fallback=include_dense_fallback,
+        ),
     )
-    cache.put(key, choice)
     return choice

@@ -16,6 +16,7 @@ needs:
 from __future__ import annotations
 
 import math
+import threading
 from dataclasses import dataclass
 
 from ..hw.costmodel import TileConfig
@@ -44,6 +45,7 @@ class TileEntry:
 #: Shared TileDB instances per (device, dtype, tensor_core, max_tiles) — see
 #: :meth:`TileDB.shared`.
 _INSTANCE_CACHE: dict = {}
+_INSTANCE_CACHE_LOCK = threading.Lock()
 
 
 class TileDB:
@@ -95,19 +97,23 @@ class TileDB:
         Offline profiling runs once per (device, dtype, tensor_core) — but
         entry conversion and instance construction used to repeat for every
         backend/compiler; a serving process builds backends per batch, so the
-        instances themselves are shared too.
+        instances themselves are shared too.  Registry access is serialized:
+        the live front end constructs per-worker backends concurrently, and
+        all of them must observe one profiled instance.
         """
         key = (spec, dtype, tensor_core, max_tiles)
-        if key not in _INSTANCE_CACHE:
-            _INSTANCE_CACHE[key] = cls(
-                spec, dtype, tensor_core=tensor_core, max_tiles=max_tiles
-            )
-        return _INSTANCE_CACHE[key]
+        with _INSTANCE_CACHE_LOCK:
+            if key not in _INSTANCE_CACHE:
+                _INSTANCE_CACHE[key] = cls(
+                    spec, dtype, tensor_core=tensor_core, max_tiles=max_tiles
+                )
+            return _INSTANCE_CACHE[key]
 
     @staticmethod
     def clear_shared() -> None:
         """Drop the shared instances (tests that vary spec parameters)."""
-        _INSTANCE_CACHE.clear()
+        with _INSTANCE_CACHE_LOCK:
+            _INSTANCE_CACHE.clear()
 
     def _to_entry(self, profile: TileProfile) -> TileEntry:
         tk = profile.tile.tk

@@ -6,8 +6,17 @@ from .engine import (
     run_transformer,
     speedup_table,
 )
+from .frontend import (
+    AsyncServingFrontend,
+    RealClock,
+    VirtualClock,
+    decision_trace,
+    replay_trace,
+    serve_async,
+    serve_workloads,
+)
 from .report import format_speedups, format_table
-from .scheduler import ContinuousScheduler
+from .scheduler import ContinuousScheduler, SchedulingPolicy
 from .serving import (
     BatchReport,
     DeviceClass,
@@ -22,6 +31,7 @@ from .serving import (
 from .session import (
     BACKENDS_BY_NAME,
     make_backend,
+    make_live_frontend,
     make_replica_backends,
     run_lineup,
     validate_backend_kwargs,
@@ -30,25 +40,34 @@ from .training import SparseTrainingReport, sparse_training_step
 
 __all__ = [
     "BACKENDS_BY_NAME",
+    "AsyncServingFrontend",
     "BatchReport",
     "ContinuousScheduler",
     "DeviceClass",
     "InferenceRequest",
+    "RealClock",
     "ReplicaStats",
     "RequestReport",
     "RunReport",
+    "SchedulingPolicy",
     "ServingEngine",
     "ServingReport",
     "SparseTrainingReport",
     "SpeculativeSelection",
     "TRAINING_STATE_MULTIPLIER",
+    "VirtualClock",
+    "decision_trace",
     "format_speedups",
     "format_table",
     "make_backend",
+    "make_live_frontend",
     "make_replica_backends",
     "merge_workloads",
+    "replay_trace",
     "run_lineup",
     "run_transformer",
+    "serve_async",
+    "serve_workloads",
     "sparse_training_step",
     "speedup_table",
     "validate_backend_kwargs",

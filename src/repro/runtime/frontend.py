@@ -1,0 +1,559 @@
+"""Real-concurrency serving: an asyncio front end over the scheduling core.
+
+Everything before this module serves on a simulated clock inside one
+thread.  This is the live path: an asyncio **admission loop** accepts
+streaming :meth:`AsyncServingFrontend.submit` calls (each resolved by a
+future), applies **backpressure / load-shedding** when the in-flight depth
+exceeds the SLO-feasible bound, and **replica workers** pull closed batches
+from per-replica queues and execute them concurrently (each worker on its
+own model-backend instance, all sharing the engine's one sharded
+:class:`~repro.core.selection.PlanCache`).
+
+The front end makes *no scheduling decisions of its own*: every admission,
+closure and placement goes through the same
+:class:`~repro.runtime.scheduler.SchedulingPolicy` object the simulated
+:class:`~repro.runtime.scheduler.ContinuousScheduler` drives.  The only
+difference between the two paths is the driver — an event heap on a
+simulated clock there, an asyncio loop on a real (or virtual) clock here.
+
+**Deterministic replay.**  :func:`replay_trace` drives the front end's
+admission pipeline under a :class:`VirtualClock` with inline execution:
+timers fire in deterministic order, every dispatch executes synchronously
+(so replica ``free_at`` bookkeeping is exact when the next decision reads
+it), and the resulting batch compositions and placements reproduce the
+simulated scheduler's decision-for-decision —
+:func:`decision_trace` extracts the comparable decision sequence from
+either report.  Construct both engines with ``charge_selection=False`` to
+also make the simulated timeline (start/exec times) bit-reproducible:
+measured selection wall time is then reported but kept off the simulated
+schedule.
+
+Two clocks, restated for the live path: *execution* time remains the
+analytical device model's simulated latency (a worker "executing" a batch
+computes its report; it does not sleep), while *selection* remains real
+measured wall time — under real concurrency the cold Algorithm 1 searches
+now genuinely overlap with other replicas' work, which is what the
+contention benchmark measures.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import itertools
+from typing import Optional
+
+from .scheduler import SchedulingPolicy, _OpenBatch
+from .serving import (
+    InferenceRequest,
+    RequestReport,
+    ServingReport,
+)
+
+
+class VirtualClock:
+    """A deterministic microsecond clock driven explicitly by its owner.
+
+    Timers are a heap of ``(when_us, seq, callback, args)``; ties fire in
+    scheduling order, which reproduces the simulated event heap's
+    arrival-before-deadline ordering as long as arrivals are scheduled
+    before the run starts (deadlines are always scheduled mid-run, so they
+    carry larger sequence numbers).  :meth:`fire_next` advances ``now`` to
+    the timer's due time *before* invoking the callback, so code reading
+    :meth:`now_us` inside a callback observes exactly the event time.
+    """
+
+    def __init__(self, start_us: float = 0.0):
+        self._now_us = float(start_us)
+        self._timers: list = []
+        self._seq = itertools.count()
+
+    def now_us(self) -> float:
+        return self._now_us
+
+    def call_at(self, when_us: float, callback, *args) -> None:
+        heapq.heappush(self._timers, (when_us, next(self._seq), callback, args))
+
+    def pending(self) -> bool:
+        return bool(self._timers)
+
+    def fire_next(self) -> float:
+        """Fire the earliest timer; returns the time it fired at."""
+        when_us, _, callback, args = heapq.heappop(self._timers)
+        self._now_us = max(self._now_us, when_us)
+        callback(*args)
+        return self._now_us
+
+
+class RealClock:
+    """Wall-clock microseconds over the running asyncio event loop.
+
+    Time zero is the first observation, so a fresh front end's arrival
+    stamps start near 0 like the simulated traces it mirrors.  Deadlines
+    map to ``loop.call_at`` and the handles are kept so the owner can
+    cancel stragglers at shutdown.
+    """
+
+    def __init__(self):
+        self._loop = None
+        self._base = None
+        self._handles: list = []
+
+    def _ensure_loop(self):
+        if self._loop is None:
+            self._loop = asyncio.get_running_loop()
+            self._base = self._loop.time()
+        return self._loop
+
+    def now_us(self) -> float:
+        loop = self._ensure_loop()
+        return (loop.time() - self._base) * 1e6
+
+    def call_at(self, when_us: float, callback, *args) -> None:
+        loop = self._ensure_loop()
+        self._handles.append(
+            loop.call_at(self._base + when_us / 1e6, callback, *args)
+        )
+
+    def cancel_pending(self) -> None:
+        for handle in self._handles:
+            handle.cancel()
+        self._handles.clear()
+
+
+#: Sentinel a worker interprets as "finish your queue and exit".
+_STOP = object()
+
+
+class AsyncServingFrontend:
+    """Streaming admission + concurrent replica workers over one policy.
+
+    ``max_queue_depth`` bounds the number of admitted-but-unfinished
+    requests; past it, ``overload="shed"`` refuses new arrivals immediately
+    (the request's future resolves to a ``shed`` :class:`RequestReport` —
+    reported, never silently dropped) while ``overload="block"`` applies
+    backpressure by making :meth:`submit` await capacity.  ``None`` means
+    unbounded.
+
+    ``inline_execution=True`` (the deterministic-replay mode used by
+    :func:`replay_trace`) executes each batch synchronously at dispatch
+    instead of handing it to a worker: decisions then interleave with
+    execution accounting exactly as in the simulated single-threaded loop,
+    which is what makes replica ``free_at`` state — and therefore every
+    placement — bit-identical.  The default (worker) mode runs each
+    replica's batches through ``asyncio.to_thread`` on a per-worker model
+    backend, so batches on different replicas genuinely execute
+    concurrently and all plan traffic converges on the shared sharded
+    :class:`~repro.core.selection.PlanCache`.
+    """
+
+    def __init__(
+        self,
+        engine,
+        *,
+        max_queue_depth: Optional[int] = None,
+        overload: str = "shed",
+        clock=None,
+        inline_execution: bool = False,
+    ):
+        if max_queue_depth is not None and max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1 (or None)")
+        if overload not in ("shed", "block"):
+            raise ValueError(
+                f"overload must be shed|block, got {overload!r}"
+            )
+        if inline_execution and overload == "block":
+            raise ValueError(
+                "overload='block' needs workers to drain capacity; "
+                "inline execution cannot await — use overload='shed'"
+            )
+        self.engine = engine
+        self.max_queue_depth = max_queue_depth
+        self.overload = overload
+        self.clock = clock if clock is not None else RealClock()
+        self.inline_execution = inline_execution
+        self.policy = SchedulingPolicy(
+            engine,
+            replicas=engine.replicas,
+            batch_window_us=engine.batch_window_us,
+            overlap_selection=engine.overlap_selection,
+            placement=engine.placement,
+        )
+        self._report = ServingReport(policy="live")
+        self._request_ids = itertools.count()
+        self._batch_ids = itertools.count()
+        self._futures: dict = {}
+        self._inflight = 0
+        self._queues: list = []
+        self._workers: list = []
+        self._worker_backends: dict = {}
+        self._completion = None  # asyncio.Event, created at start()
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Spin up the replica workers (no-op in inline-execution mode)."""
+        if self._started:
+            return
+        self._started = True
+        self._completion = asyncio.Event()
+        if self.inline_execution:
+            return
+        for replica in self.policy.replicas:
+            queue: asyncio.Queue = asyncio.Queue()
+            self._queues.append(queue)
+            self._worker_backends[replica.replica_id] = (
+                self.engine.make_worker_backend(replica.device)
+            )
+            self._workers.append(
+                asyncio.create_task(
+                    self._worker(replica.replica_id, queue),
+                    name=f"replica-worker-{replica.replica_id}",
+                )
+            )
+
+    async def drain(self) -> None:
+        """Close every open batch and wait for in-flight work to finish."""
+        self.finish(self.clock.now_us())
+        for queue in self._queues:
+            await queue.join()
+
+    async def stop(self) -> None:
+        """Drain, then shut the workers down."""
+        await self.drain()
+        for queue in self._queues:
+            queue.put_nowait(_STOP)
+        if self._workers:
+            await asyncio.gather(*self._workers)
+        self._workers.clear()
+        if hasattr(self.clock, "cancel_pending"):
+            self.clock.cancel_pending()
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    async def submit(self, workload, *, arrival_us: Optional[float] = None):
+        """Admit one workload; returns a future of its RequestReport.
+
+        The future resolves when the request's batch completes — or
+        immediately with a ``shed`` report when the front end is over its
+        queue-depth bound in shed mode.  In block mode the *call* awaits
+        capacity instead (backpressure propagates to the submitter).
+        """
+        if not self._started:
+            await self.start()
+        if self.max_queue_depth is not None and self.overload == "block":
+            while self._inflight >= self.max_queue_depth:
+                self._completion.clear()
+                await self._completion.wait()
+        now = arrival_us if arrival_us is not None else self.clock.now_us()
+        request = InferenceRequest(
+            request_id=next(self._request_ids),
+            workload=workload,
+            arrival_us=now,
+        )
+        return self.ingest(request)
+
+    def ingest(self, request: InferenceRequest):
+        """Synchronous admission core (also the virtual-replay entry).
+
+        Applies the shed bound, registers the request's future, and runs
+        the shared policy's admission — dispatching any batches the arrival
+        closes.  Returns the request's future (resolved already if shed).
+        """
+        future = _new_future()
+        now = request.arrival_us
+        if (
+            self.max_queue_depth is not None
+            and self.overload == "shed"
+            and self._inflight >= self.max_queue_depth
+        ):
+            shed = RequestReport(
+                request_id=request.request_id,
+                batch_id=-1,
+                tokens=request.tokens,
+                arrival_us=now,
+                start_us=now,
+                queue_us=0.0,
+                exec_us=0.0,
+                selection_us=0.0,
+                ok=False,
+                error=(
+                    f"shed: {self._inflight} requests in flight >= "
+                    f"max_queue_depth={self.max_queue_depth}"
+                ),
+                shed=True,
+            )
+            self._report.requests.append(shed)
+            future.set_result(shed)
+            return future
+        self._futures[request.request_id] = future
+        self._inflight += 1
+        self.policy.admit(request, now, self._dispatch, self._schedule_deadline)
+        return future
+
+    def _schedule_deadline(self, deadline_us, signature, token) -> None:
+        self.clock.call_at(deadline_us, self._on_deadline, signature, token)
+
+    def _on_deadline(self, signature, token) -> None:
+        batch = self.policy.close_due(signature, token)
+        if batch is not None:
+            self._dispatch(batch, self.clock.now_us())
+
+    def finish(self, now_us: float) -> None:
+        """Close every still-open batch at ``now_us`` (end of stream)."""
+        for batch in self.policy.flush():
+            self._dispatch(batch, now_us)
+
+    # ------------------------------------------------------------------
+    # Dispatch and execution
+    # ------------------------------------------------------------------
+    def _dispatch(self, batch: _OpenBatch, close_us: float) -> None:
+        """Place a closed batch and route it to its replica's worker."""
+        placement = self.policy.place(batch, close_us)
+        batch_id = next(self._batch_ids)
+        item = (batch, placement, batch_id)
+        if self.inline_execution:
+            self._account(item, *self._execute(item))
+        else:
+            # Reserve the replica up to the cost model's predicted finish:
+            # under a burst, several batches dispatch before any completes,
+            # and without a reservation they would all read the same stale
+            # free_at and pile onto one replica.  _account replaces the
+            # prediction with the actual finish (max-assigned, so an early
+            # completion never rolls back a later reservation).
+            estimate = self.engine.estimate_exec_us(
+                batch.signature, placement.workload, placement.replica.device
+            )
+            if estimate != float("inf"):
+                placement.replica.free_at_us = max(
+                    placement.replica.free_at_us,
+                    placement.start_us + estimate,
+                )
+            self._queues[placement.replica.replica_id].put_nowait(item)
+
+    def _execute(self, item) -> tuple:
+        """Run one placed batch through the engine (worker-thread safe)."""
+        batch, placement, batch_id = item
+        backend = self._worker_backends.get(placement.replica.replica_id)
+        return self.engine.execute_batch(
+            batch.requests,
+            batch_id=batch_id,
+            start_us=placement.start_us,
+            replica_id=placement.replica.replica_id,
+            speculation=batch.speculation,
+            device=placement.replica.device,
+            workload=placement.workload,
+            backend=backend,
+        )
+
+    def _account(self, item, batch_report, request_reports) -> None:
+        """Fold one executed batch into policy state, report and futures.
+
+        Always runs on the event-loop thread (inline, or in the worker
+        coroutine after ``to_thread`` returns), so policy state needs no
+        locking.
+        """
+        batch, placement, _ = item
+        batch_report.overlap_saved_us = placement.saved_us
+        self.policy.account(placement, batch_report)
+        self._report.batches.append(batch_report)
+        self._report.requests.extend(request_reports)
+        for request_report in request_reports:
+            future = self._futures.pop(request_report.request_id, None)
+            if future is not None and not future.done():
+                future.set_result(request_report)
+        self._inflight -= len(batch.requests)
+        if self._completion is not None:
+            self._completion.set()
+
+    def _fail(self, item, exc: BaseException) -> None:
+        """Report a worker failure on every request of the batch."""
+        batch, placement, batch_id = item
+        for request in batch.requests:
+            request_report = RequestReport(
+                request_id=request.request_id,
+                batch_id=batch_id,
+                tokens=request.tokens,
+                arrival_us=request.arrival_us,
+                start_us=placement.start_us,
+                queue_us=placement.start_us - request.arrival_us,
+                exec_us=0.0,
+                selection_us=0.0,
+                ok=False,
+                error=f"worker failure: {exc!r}",
+            )
+            self._report.requests.append(request_report)
+            future = self._futures.pop(request.request_id, None)
+            if future is not None and not future.done():
+                future.set_result(request_report)
+        self._inflight -= len(batch.requests)
+        if self._completion is not None:
+            self._completion.set()
+
+    async def _worker(self, replica_id: int, queue: asyncio.Queue) -> None:
+        """One replica's execution loop: pull, execute off-loop, account."""
+        while True:
+            item = await queue.get()
+            if item is _STOP:
+                queue.task_done()
+                return
+            try:
+                batch_report, request_reports = await asyncio.to_thread(
+                    self._execute, item
+                )
+                self._account(item, batch_report, request_reports)
+            except Exception as exc:  # pragma: no cover - defensive
+                self._fail(item, exc)
+            finally:
+                queue.task_done()
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    @property
+    def inflight(self) -> int:
+        """Admitted-but-unfinished requests (the backpressure quantity)."""
+        return self._inflight
+
+    def report(self) -> ServingReport:
+        """The aggregate report over everything served so far."""
+        report = self._report
+        report.batches.sort(key=lambda b: b.batch_id)
+        report.requests.sort(key=lambda r: r.request_id)
+        first_start = min((b.start_us for b in report.batches), default=0.0)
+        last_end = max(
+            (b.start_us + b.exec_us for b in report.batches), default=0.0
+        )
+        report.makespan_us = last_end - first_start
+        report.replica_stats = self.policy.replica_stats(report.makespan_us)
+        report.plan_cache_stats = self.engine.plan_cache.stats()
+        return report
+
+
+def _new_future():
+    """A future usable with or without a running asyncio loop.
+
+    The virtual-replay driver runs without a loop; plain
+    :class:`concurrent.futures.Future`-style results are enough there, and
+    ``asyncio.Future`` without a loop would raise.
+    """
+    try:
+        return asyncio.get_running_loop().create_future()
+    except RuntimeError:
+        import concurrent.futures
+
+        return concurrent.futures.Future()
+
+
+# ----------------------------------------------------------------------
+# Deterministic replay + equivalence
+# ----------------------------------------------------------------------
+def replay_trace(
+    engine,
+    requests=None,
+    *,
+    max_queue_depth: Optional[int] = None,
+) -> ServingReport:
+    """Serve a trace through the live front end in virtual time.
+
+    The deterministic-replay equivalence harness: arrivals become virtual
+    timers, the front end's own admission/shed/dispatch pipeline runs them
+    through the shared :class:`~repro.runtime.scheduler.SchedulingPolicy`,
+    and execution is inline so accounting interleaves with decisions
+    exactly as in the simulated loop.  ``requests`` defaults to the
+    engine's queued submissions (like ``engine.run()``, the queue is
+    consumed).  The returned report's batch compositions and placements
+    match ``engine.run(policy="continuous")`` on the same trace
+    decision-for-decision — compare with :func:`decision_trace`.
+    """
+    if requests is None:
+        requests, engine._queue = engine._queue, []
+    clock = VirtualClock()
+    frontend = AsyncServingFrontend(
+        engine,
+        max_queue_depth=max_queue_depth,
+        overload="shed",
+        clock=clock,
+        inline_execution=True,
+    )
+    ordered = sorted(requests, key=lambda r: (r.arrival_us, r.request_id))
+    for request in ordered:
+        clock.call_at(request.arrival_us, frontend.ingest, request)
+    last_event_us = 0.0
+    while clock.pending():
+        last_event_us = max(last_event_us, clock.fire_next())
+    frontend.finish(last_event_us)
+    return frontend.report()
+
+
+def decision_trace(report: ServingReport, *, include_timing: bool = False) -> list:
+    """The scheduler-decision sequence of a report, for equivalence checks.
+
+    One entry per batch in batch-id (dispatch) order: the batch's
+    composition (request ids, in admission order), its placement (replica
+    id) and its plan-cache traffic.  With ``include_timing`` the simulated
+    start/exec times join the trace — only meaningful when both runs were
+    made time-deterministic with ``charge_selection=False`` (measured
+    selection wall time otherwise perturbs the simulated schedule).
+    """
+    trace = []
+    for batch in sorted(report.batches, key=lambda b: b.batch_id):
+        entry = {
+            "batch_id": batch.batch_id,
+            "requests": list(batch.request_ids),
+            "replica": batch.replica_id,
+            "tokens": batch.tokens,
+            "padded_tokens": batch.padded_tokens,
+            "cache_hits": batch.cache_hits,
+            "cache_misses": batch.cache_misses,
+            "plan_kinds": dict(batch.plan_kinds),
+        }
+        if include_timing:
+            entry["start_us"] = batch.start_us
+            entry["exec_us"] = batch.exec_us
+        trace.append(entry)
+    return trace
+
+
+# ----------------------------------------------------------------------
+# Live-serving convenience
+# ----------------------------------------------------------------------
+async def serve_async(
+    engine,
+    workloads,
+    *,
+    max_queue_depth: Optional[int] = None,
+    overload: str = "shed",
+) -> ServingReport:
+    """Serve ``workloads`` through a live front end on the running loop."""
+    frontend = AsyncServingFrontend(
+        engine, max_queue_depth=max_queue_depth, overload=overload
+    )
+    await frontend.start()
+    futures = [await frontend.submit(w) for w in workloads]
+    await frontend.drain()
+    if futures:
+        await asyncio.gather(*futures)
+    await frontend.stop()
+    return frontend.report()
+
+
+def serve_workloads(
+    engine,
+    workloads,
+    *,
+    max_queue_depth: Optional[int] = None,
+    overload: str = "shed",
+) -> ServingReport:
+    """Synchronous wrapper: run :func:`serve_async` on a private loop."""
+    return asyncio.run(
+        serve_async(
+            engine,
+            workloads,
+            max_queue_depth=max_queue_depth,
+            overload=overload,
+        )
+    )

@@ -52,6 +52,18 @@ two mechanisms a serving system actually runs:
 Execution time stays the analytical device model's simulated latency and
 selection overhead stays measured wall time, exactly as in
 :mod:`~repro.runtime.serving`.
+
+**Two drivers, one policy.**  All admission, closure and placement
+decisions live in :class:`SchedulingPolicy`, a clock-agnostic core that
+never looks at a clock or an event queue: drivers feed it arrivals and
+deadline firings and it answers with batch closures and placements.
+:class:`ContinuousScheduler` drives the policy from a simulated-clock
+event heap; :class:`~repro.runtime.frontend.AsyncServingFrontend` drives
+the *same* policy object from an asyncio loop under a real (or virtual)
+clock.  Both paths therefore make identical decisions on identical
+arrival sequences — the equivalence the deterministic-replay harness
+(:func:`~repro.runtime.frontend.replay_trace`) proves decision-for-
+decision.
 """
 
 from __future__ import annotations
@@ -59,7 +71,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Optional
 
 from ..hw.costmodel import predicted_finish_us
 from .serving import (
@@ -92,7 +104,7 @@ class _OpenBatch:
 
 @dataclass
 class _Replica:
-    """One simulated device replica's schedule."""
+    """One device replica's schedule."""
 
     replica_id: int
     #: The replica's :class:`~repro.runtime.serving.DeviceClass` — its
@@ -105,23 +117,38 @@ class _Replica:
     overlap_saved_us: float = 0.0
 
 
-class ContinuousScheduler:
-    """Event-driven continuous batching across N device replicas.
+@dataclass
+class Placement:
+    """A placement decision for one closed batch."""
 
-    Drives an engine's queue through a simulated-clock event loop.  The
-    scheduler owns batching (admission + closure) and placement; planning
-    and execution stay on the engine (:meth:`ServingEngine.execute_batch`),
-    so every replica resolves kernel plans through the engine's one
-    :class:`~repro.core.selection.PlanCache`.  Replica ``i`` executes on
-    ``engine.device_for_replica(i)`` — a heterogeneous lineup
-    (``ServingEngine(replica_specs=[...])``) places batches cost-aware by
-    predicted finish time; ``placement="least-loaded"`` forces the legacy
-    earliest-free policy.
+    replica: _Replica
+    #: The batch's merged workload (what execution and pricing run on).
+    workload: object
+    #: Scheduled execution start (close time, queueing behind the replica's
+    #: prior batch, and any residual speculative-search tail).
+    start_us: float
+    #: Selection latency hidden by speculation (zero when warm or disabled).
+    saved_us: float
 
-    ``batch_window_us=None`` disables the deadline entirely: batches close
-    only on budget overflow or end of stream (maximum co-batching, worst
-    queueing delay — the drain policy's admission behaviour with continuous
-    placement).
+
+class SchedulingPolicy:
+    """The admission/close/placement core shared by both serving drivers.
+
+    Holds every piece of scheduler state that decisions depend on — open
+    batches per signature, the monotone batch tokens, and the replica
+    schedules — but owns no clock and no event queue.  Drivers call:
+
+    * :meth:`admit` for each arrival, passing ``dispatch`` (called with
+      every batch the arrival closes) and ``schedule_deadline`` (called
+      when a fresh batch opens under a batching window);
+    * :meth:`close_due` when a previously scheduled deadline fires;
+    * :meth:`flush` at end of stream;
+    * :meth:`place` / :meth:`account` around executing a closed batch.
+
+    Because the policy is deterministic in its inputs, any two drivers that
+    feed it the same arrival/deadline sequence obtain the same batch
+    compositions and the same placements — the property the deterministic-
+    replay equivalence harness gates on.
     """
 
     def __init__(
@@ -133,6 +160,21 @@ class ContinuousScheduler:
         overlap_selection: bool = True,
         placement: str = "cost-aware",
     ):
+        self.validate(replicas, batch_window_us, placement)
+        self.engine = engine
+        self.num_replicas = replicas
+        self.batch_window_us = batch_window_us
+        self.overlap_selection = overlap_selection
+        self.placement = placement
+        self.replicas = [
+            _Replica(i, device=engine.device_for_replica(i))
+            for i in range(replicas)
+        ]
+        self._open: dict = {}
+        self._tokens = itertools.count()
+
+    @staticmethod
+    def validate(replicas, batch_window_us, placement) -> None:
         if replicas < 1:
             raise ValueError("replicas must be >= 1")
         if batch_window_us is not None and batch_window_us < 0:
@@ -141,88 +183,39 @@ class ContinuousScheduler:
             raise ValueError(
                 f"placement must be cost-aware|least-loaded, got {placement!r}"
             )
-        self.engine = engine
-        self.num_replicas = replicas
-        self.batch_window_us = batch_window_us
-        self.overlap_selection = overlap_selection
-        self.placement = placement
 
     # ------------------------------------------------------------------
-    # The event loop
+    # Admission and closure
     # ------------------------------------------------------------------
-    def run(self, requests) -> ServingReport:
-        """Serve ``requests`` (arrival-stamped) and return the report."""
-        report = ServingReport(policy="continuous")
-        replicas = [
-            _Replica(i, device=self.engine.device_for_replica(i))
-            for i in range(self.num_replicas)
-        ]
-        open_batches: dict = {}
-        tokens = itertools.count()
-        seq = itertools.count()
-        events: list = []
-        for r in sorted(requests, key=lambda r: (r.arrival_us, r.request_id)):
-            heapq.heappush(events, (r.arrival_us, _ARRIVE, next(seq), r))
+    def admit(
+        self,
+        request,
+        now: float,
+        dispatch: Callable,
+        schedule_deadline: Optional[Callable] = None,
+    ) -> None:
+        """Place one arrival into (or around) its signature's open batch.
 
-        last_event_us = 0.0
-        while events:
-            now, kind, _, payload = heapq.heappop(events)
-            last_event_us = max(last_event_us, now)
-            if kind == _ARRIVE:
-                self._admit(payload, now, open_batches, events, seq, tokens,
-                            replicas, report)
-            else:
-                signature, token = payload
-                batch = open_batches.get(signature)
-                if batch is not None and batch.token == token:
-                    del open_batches[signature]
-                    self._dispatch(batch, now, replicas, report)
-
-        # With no window, batches whose budget never overflowed are still
-        # open when the stream ends; close them at the last event (there is
-        # nothing left to wait for).
-        for batch in sorted(open_batches.values(), key=lambda b: b.opened_us):
-            self._dispatch(batch, last_event_us, replicas, report)
-
-        report.requests.sort(key=lambda r: r.request_id)
-        first_start = min((b.start_us for b in report.batches), default=0.0)
-        last_end = max(
-            (b.start_us + b.exec_us for b in report.batches), default=0.0
-        )
-        report.makespan_us = last_end - first_start
-        for rep in replicas:
-            report.replica_stats.append(
-                ReplicaStats(
-                    replica_id=rep.replica_id,
-                    device=rep.device.name if rep.device is not None else "",
-                    batches=rep.batches,
-                    tokens=rep.tokens,
-                    busy_us=rep.busy_us,
-                    utilization=(
-                        rep.busy_us / report.makespan_us
-                        if report.makespan_us > 0
-                        else 0.0
-                    ),
-                    overlap_saved_us=rep.overlap_saved_us,
-                )
-            )
-        report.plan_cache_stats = self.engine.plan_cache.stats()
-        return report
-
-    def _admit(self, request, now, open_batches, events, seq, tokens,
-               replicas, report) -> None:
-        """Place one arrival into (or around) its signature's open batch."""
+        ``dispatch(batch, close_us)`` is invoked *inline* for every batch
+        this arrival closes — before any further policy state is touched —
+        so dispatch-order side effects (replica ``free_at`` updates, plan
+        cache warming) are observed by the very next decision, exactly as
+        in the single-threaded simulated loop.  ``schedule_deadline(
+        deadline_us, signature, token)`` is invoked when a fresh batch
+        opens under a batching window; the driver must eventually call
+        :meth:`close_due` with that (signature, token).
+        """
         signature = request.batch_signature(self.engine.plan_cache.quantum)
-        batch = open_batches.get(signature)
+        batch = self._open.get(signature)
         if batch is not None and not self.engine._fits(batch.requests, request):
             # The arrival does not fit: the open batch closes now and the
             # arrival opens a fresh one (its window starts from `now`).
-            del open_batches[signature]
-            self._dispatch(batch, now, replicas, report)
+            del self._open[signature]
+            dispatch(batch, now)
             batch = None
         if batch is None:
             batch = _OpenBatch(
-                signature=signature, opened_us=now, token=next(tokens)
+                signature=signature, opened_us=now, token=next(self._tokens)
             )
             if self.overlap_selection:
                 # Issue the Algorithm 1 search now, from the first admitted
@@ -234,28 +227,45 @@ class ContinuousScheduler:
                 # serial at close time, exactly the pre-overlap behaviour.
                 # memoize=False: one request's latency must not seed the
                 # exec-estimate memo that dispatch prices merged batches by.
-                target = self._select_replica(
-                    signature, request.workload, now, replicas, memoize=False
+                target = self.select_replica(
+                    signature, request.workload, now, memoize=False
                 )
                 batch.speculation = self.engine.speculate_plans(
                     request.workload, issued_us=now, device=target.device
                 )
-            open_batches[signature] = batch
-            if self.batch_window_us is not None:
-                heapq.heappush(
-                    events,
-                    (
-                        now + self.batch_window_us,
-                        _DEADLINE,
-                        next(seq),
-                        (signature, batch.token),
-                    ),
+            self._open[signature] = batch
+            if self.batch_window_us is not None and schedule_deadline is not None:
+                schedule_deadline(
+                    now + self.batch_window_us, signature, batch.token
                 )
         batch.requests.append(request)
         if self._saturated(batch.requests):
             # Full: no future arrival can join, so waiting only adds delay.
-            del open_batches[signature]
-            self._dispatch(batch, now, replicas, report)
+            del self._open[signature]
+            dispatch(batch, now)
+
+    def close_due(self, signature, token) -> Optional[_OpenBatch]:
+        """Close the open batch a fired window deadline targets.
+
+        Returns ``None`` when the deadline is stale — the batch already
+        closed (saturation, budget overflow) and possibly a *newer* batch
+        occupies the signature slot; the monotone token tells them apart.
+        """
+        batch = self._open.get(signature)
+        if batch is not None and batch.token == token:
+            del self._open[signature]
+            return batch
+        return None
+
+    def flush(self) -> list:
+        """Close every still-open batch (end of stream), oldest first."""
+        batches = sorted(self._open.values(), key=lambda b: b.opened_us)
+        self._open.clear()
+        return batches
+
+    def open_batches(self) -> int:
+        """Number of batches currently admitting arrivals."""
+        return len(self._open)
 
     def _saturated(self, requests) -> bool:
         """True when no conceivable arrival could still join the batch.
@@ -271,8 +281,11 @@ class ContinuousScheduler:
         num_seqs = sum(r.workload.batch_size for r in requests)
         return max_len * (num_seqs + 1) > self.engine.max_batch_tokens
 
-    def _select_replica(self, signature, workload, close_us: float,
-                        replicas, memoize: bool = True) -> _Replica:
+    # ------------------------------------------------------------------
+    # Placement and accounting
+    # ------------------------------------------------------------------
+    def select_replica(self, signature, workload, close_us: float,
+                       memoize: bool = True) -> _Replica:
         """Pick the replica for a ``signature`` batch closing at ``close_us``.
 
         Cost-aware placement minimizes the predicted finish time
@@ -287,6 +300,7 @@ class ContinuousScheduler:
         ``(free_at_us, replica_id)`` order and placement is bit-identical
         to it.
         """
+        replicas = self.replicas
         if self.placement == "least-loaded" or len(
             {r.device.spec for r in replicas}
         ) == 1:
@@ -316,38 +330,173 @@ class ContinuousScheduler:
             ),
         )
 
-    def _dispatch(self, batch: _OpenBatch, close_us: float, replicas,
-                  report: ServingReport) -> None:
-        """Place a closed batch (cost-aware) and execute it there."""
+    def place(self, batch: _OpenBatch, close_us: float) -> Placement:
+        """Decide where and when a closed batch executes."""
         workload = merge_workloads([r.workload for r in batch.requests])
-        replica = self._select_replica(
-            batch.signature, workload, close_us, replicas
-        )
+        replica = self.select_replica(batch.signature, workload, close_us)
         ready_us = max(close_us, replica.free_at_us)
         start = ready_us
         saved_us = 0.0
         spec = batch.speculation
-        if spec is not None and spec.cold:
+        if (
+            spec is not None
+            and spec.cold
+            and getattr(self.engine, "charge_selection", True)
+        ):
             # The cold search was issued at batch open and ran off-device;
             # compute waits only for whatever tail outlives the open window
             # and the replica's prior batch.  Without overlap the batch
             # would have started executing at ready_us + search_us.
+            # (With charge_selection off the engine excludes measured
+            # selection wall time from the simulated schedule entirely, so
+            # there is no search tail to wait for and nothing saved.)
             start = max(ready_us, spec.issued_us + spec.search_us)
             saved_us = ready_us + spec.search_us - start
-        batch_report, request_reports = self.engine.execute_batch(
-            batch.requests,
-            batch_id=len(report.batches),
-            start_us=start,
-            replica_id=replica.replica_id,
-            speculation=spec,
-            device=replica.device,
-            workload=workload,
+        return Placement(
+            replica=replica, workload=workload, start_us=start, saved_us=saved_us
         )
-        batch_report.overlap_saved_us = saved_us
-        replica.free_at_us = start + batch_report.exec_us
+
+    def account(self, placement: Placement, batch_report) -> None:
+        """Fold one executed batch back into its replica's schedule.
+
+        ``free_at`` is max-assigned: in the simulated loop the batch's
+        finish always exceeds the replica's previous ``free_at`` (a batch
+        starts no earlier than the replica frees), so this is exactly the
+        legacy assignment there — but the live front end may have *reserved*
+        the replica further ahead (cost-model predicted finishes of batches
+        still in its worker queue), and accounting one earlier batch must
+        not roll those reservations back.
+        """
+        replica = placement.replica
+        replica.free_at_us = max(
+            replica.free_at_us, placement.start_us + batch_report.exec_us
+        )
         replica.busy_us += batch_report.exec_us
         replica.batches += 1
         replica.tokens += batch_report.tokens
-        replica.overlap_saved_us += saved_us
+        replica.overlap_saved_us += placement.saved_us
+
+    def replica_stats(self, makespan_us: float) -> list:
+        """Per-replica utilization summaries for a finished run."""
+        return [
+            ReplicaStats(
+                replica_id=rep.replica_id,
+                device=rep.device.name if rep.device is not None else "",
+                batches=rep.batches,
+                tokens=rep.tokens,
+                busy_us=rep.busy_us,
+                utilization=(
+                    rep.busy_us / makespan_us if makespan_us > 0 else 0.0
+                ),
+                overlap_saved_us=rep.overlap_saved_us,
+            )
+            for rep in self.replicas
+        ]
+
+
+class ContinuousScheduler:
+    """Event-driven continuous batching across N device replicas.
+
+    Drives a fresh :class:`SchedulingPolicy` through a simulated-clock
+    event heap.  The policy owns batching (admission + closure) and
+    placement; planning and execution stay on the engine
+    (:meth:`ServingEngine.execute_batch`), so every replica resolves
+    kernel plans through the engine's one
+    :class:`~repro.core.selection.PlanCache`.  Replica ``i`` executes on
+    ``engine.device_for_replica(i)`` — a heterogeneous lineup
+    (``ServingEngine(replica_specs=[...])``) places batches cost-aware by
+    predicted finish time; ``placement="least-loaded"`` forces the legacy
+    earliest-free policy.
+
+    ``batch_window_us=None`` disables the deadline entirely: batches close
+    only on budget overflow or end of stream (maximum co-batching, worst
+    queueing delay — the drain policy's admission behaviour with continuous
+    placement).
+    """
+
+    def __init__(
+        self,
+        engine,
+        *,
+        replicas: int = 1,
+        batch_window_us: Optional[float] = 2000.0,
+        overlap_selection: bool = True,
+        placement: str = "cost-aware",
+    ):
+        SchedulingPolicy.validate(replicas, batch_window_us, placement)
+        self.engine = engine
+        self.num_replicas = replicas
+        self.batch_window_us = batch_window_us
+        self.overlap_selection = overlap_selection
+        self.placement = placement
+
+    # ------------------------------------------------------------------
+    # The event loop
+    # ------------------------------------------------------------------
+    def run(self, requests) -> ServingReport:
+        """Serve ``requests`` (arrival-stamped) and return the report."""
+        report = ServingReport(policy="continuous")
+        policy = SchedulingPolicy(
+            self.engine,
+            replicas=self.num_replicas,
+            batch_window_us=self.batch_window_us,
+            overlap_selection=self.overlap_selection,
+            placement=self.placement,
+        )
+        seq = itertools.count()
+        events: list = []
+        for r in sorted(requests, key=lambda r: (r.arrival_us, r.request_id)):
+            heapq.heappush(events, (r.arrival_us, _ARRIVE, next(seq), r))
+
+        def dispatch(batch, close_us):
+            self._dispatch(policy, batch, close_us, report)
+
+        def schedule_deadline(deadline_us, signature, token):
+            heapq.heappush(
+                events, (deadline_us, _DEADLINE, next(seq), (signature, token))
+            )
+
+        last_event_us = 0.0
+        while events:
+            now, kind, _, payload = heapq.heappop(events)
+            last_event_us = max(last_event_us, now)
+            if kind == _ARRIVE:
+                policy.admit(payload, now, dispatch, schedule_deadline)
+            else:
+                batch = policy.close_due(*payload)
+                if batch is not None:
+                    dispatch(batch, now)
+
+        # With no window, batches whose budget never overflowed are still
+        # open when the stream ends; close them at the last event (there is
+        # nothing left to wait for).
+        for batch in policy.flush():
+            dispatch(batch, last_event_us)
+
+        report.requests.sort(key=lambda r: r.request_id)
+        first_start = min((b.start_us for b in report.batches), default=0.0)
+        last_end = max(
+            (b.start_us + b.exec_us for b in report.batches), default=0.0
+        )
+        report.makespan_us = last_end - first_start
+        report.replica_stats.extend(policy.replica_stats(report.makespan_us))
+        report.plan_cache_stats = self.engine.plan_cache.stats()
+        return report
+
+    def _dispatch(self, policy: SchedulingPolicy, batch: _OpenBatch,
+                  close_us: float, report: ServingReport) -> None:
+        """Place a closed batch (cost-aware) and execute it there."""
+        placement = policy.place(batch, close_us)
+        batch_report, request_reports = self.engine.execute_batch(
+            batch.requests,
+            batch_id=len(report.batches),
+            start_us=placement.start_us,
+            replica_id=placement.replica.replica_id,
+            speculation=batch.speculation,
+            device=placement.replica.device,
+            workload=placement.workload,
+        )
+        batch_report.overlap_saved_us = placement.saved_us
+        policy.account(placement, batch_report)
         report.batches.append(batch_report)
         report.requests.extend(request_reports)

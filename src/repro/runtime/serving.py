@@ -256,6 +256,11 @@ class RequestReport:
     selection_us: float
     ok: bool = True
     error: Optional[str] = None
+    #: True when the live front end load-shed this request at admission
+    #: (queue depth over the SLO-feasible bound).  Shed requests never
+    #: execute (``batch_id == -1``) but are always reported, never silently
+    #: dropped: they count toward ``failed_requests`` with ``ok=False``.
+    shed: bool = False
 
     @property
     def latency_us(self) -> float:
@@ -319,7 +324,8 @@ class ServingReport:
     plan_cache_stats: dict = field(default_factory=dict)
     #: Simulated time from first batch start to last batch completion.
     makespan_us: float = 0.0
-    #: Which batching policy produced this report: "drain" | "continuous".
+    #: Which batching policy produced this report:
+    #: "drain" | "continuous" | "live".
     policy: str = "drain"
     #: Per-replica utilization (continuous policy; one entry per replica).
     replica_stats: list = field(default_factory=list)
@@ -327,6 +333,12 @@ class ServingReport:
     @property
     def total_tokens(self) -> int:
         return sum(r.tokens for r in self.requests)
+
+    @property
+    def shed_requests(self) -> int:
+        """Requests the live front end refused at admission (reported,
+        never silently dropped)."""
+        return sum(1 for r in self.requests if getattr(r, "shed", False))
 
     @property
     def completed_tokens(self) -> int:
@@ -541,6 +553,7 @@ class ServingEngine:
         overlap_selection: bool = True,
         enforce_memory: bool = False,
         plan_cache: Optional[PlanCache] = None,
+        charge_selection: bool = True,
     ):
         if max_batch_tokens < 1 or max_batch_size < 1:
             raise ValueError("batch budgets must be >= 1")
@@ -579,6 +592,15 @@ class ServingEngine:
         #: at batch-open time and overlap them with prior compute.
         self.overlap_selection = overlap_selection
         self.enforce_memory = enforce_memory
+        #: When True (default), the *measured* wall time of plan selection
+        #: is charged into each batch's simulated ``exec_us`` exactly as in
+        #: every prior PR.  When False, selection stays reported
+        #: (``selection_us``) but is excluded from the simulated schedule —
+        #: the deterministic accounting the replay-equivalence harness
+        #: runs under, since measured wall time differs run to run while
+        #: the analytical latency model does not.
+        self.charge_selection = charge_selection
+        self.backend_name = backend
         self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
         # One backend per distinct device class — serving backends share
         # the plan cache; pricing backends are cache-detached so placement
@@ -645,6 +667,27 @@ class ServingEngine:
         if 0 <= replica_id < len(self.replica_devices):
             return self.replica_devices[replica_id]
         return self._device_classes[self.spec]
+
+    def make_worker_backend(self, device: DeviceClass):
+        """A fresh model backend of ``device``'s class for one live worker.
+
+        The per-class serving backend is shared by every replica of the
+        class and carries per-run mutable state (``set_fusion`` toggles,
+        the online detector's dedup set), so concurrent replica workers
+        must not run through it.  Worker instances share the expensive
+        state anyway — the profiled :class:`~repro.core.tiledb.TileDB` via
+        its shared registry and the engine's one
+        :class:`~repro.core.selection.PlanCache` — so construction is
+        cheap and plans stay process-wide warm.
+        """
+        from .session import make_backend
+
+        kwargs = (
+            {"plan_cache": self.plan_cache}
+            if self.backend_name == "PIT"
+            else {}
+        )
+        return make_backend(self.backend_name, device.spec, self.dtype, **kwargs)
 
     def estimate_exec_us(
         self,
@@ -861,7 +904,6 @@ class ServingEngine:
         online search overhead.
         """
         device = device if device is not None else self.device_for_replica(0)
-        hits0, misses0 = self.plan_cache.hits, self.plan_cache.misses
         plans = {}
         start = time.perf_counter()
         for spec, make_samples in self._plan_requests(
@@ -869,29 +911,48 @@ class ServingEngine:
         ):
             plans[spec.kind] = device.planner.resolve(spec, make_samples)
         wall_us = (time.perf_counter() - start) * 1e6
-        hits = self.plan_cache.hits - hits0
-        misses = self.plan_cache.misses - misses0
+        # Count hits/misses from each resolve's own provenance rather than
+        # global-counter deltas: concurrent replicas resolve through the
+        # same cache, and a delta would attribute their traffic to this
+        # batch.  Sequentially the two accountings are identical (each
+        # resolve is exactly one hit or one miss).
+        hits = sum(1 for plan in plans.values() if plan.cache_hit)
+        misses = sum(1 for plan in plans.values() if not plan.cache_hit)
         return plans, wall_us, hits, misses
 
-    def save_plan_cache(self, path) -> dict:
+    def plan_cache_keys(self) -> list:
+        """Every device class's TileDB key, primary first.
+
+        The full identity set of this engine's plan traffic: pass it to
+        ``PlanCache.load(path, expected_tiledb_keys=engine.plan_cache_keys())``
+        to validate a mixed-lineup dump against *all* the classes the
+        reviving engine can actually serve, not just its primary.
+        """
+        return [device.tiledb.cache_key for device in self.device_classes]
+
+    def save_plan_cache(self, path, *, max_entries: Optional[int] = None) -> dict:
         """Persist this engine's plan cache for a later process.
 
         A fresh engine constructed with
         ``PlanCache.load(path, expected_tiledb_key=...)`` serves the same
         traffic with zero cold searches — every serving-path plan kind is
         keyed by a serializable :class:`~repro.core.plan.PlanSpec`.
+        ``max_entries`` forwards the dump's LRU age-out cap (see
+        :meth:`PlanCache.save`); entries under the cap keep the
+        zero-cold-search replay property.
 
         The dump header records the *primary* device class's TileDB key
-        (the coarse transfer guard ``PlanCache.load`` validates); a
-        heterogeneous engine's cache also holds entries for its other
-        classes, each carrying its own ``tiledb_key`` inside the plan key,
-        so reviving the dump in an engine with the same lineup keeps every
-        class warm — per-entry keys, not the header, are what planners
-        match at resolve time.  Validate against the reviving engine's
-        primary class (or pass ``expected_tiledb_key=None`` for a mixed
-        dump consumed by a different-primary lineup).
+        (the coarse transfer guard ``PlanCache.load`` validates) plus the
+        full set of class identities found among the entries
+        (``tiledb_keys``) — a heterogeneous engine's cache holds entries
+        for every class, each carrying its own ``tiledb_key`` inside the
+        plan key.  A reviving mixed lineup validates the whole set with
+        ``expected_tiledb_keys=engine.plan_cache_keys()``; per-entry keys,
+        not the header, remain what planners match at resolve time.
         """
-        return self.plan_cache.save(path, tiledb_key=self.tiledb.cache_key)
+        return self.plan_cache.save(
+            path, tiledb_key=self.tiledb.cache_key, max_entries=max_entries
+        )
 
     def speculate_plans(
         self,
@@ -936,6 +997,7 @@ class ServingEngine:
         speculation: Optional[SpeculativeSelection] = None,
         device: Optional[DeviceClass] = None,
         workload: Optional[Workload] = None,
+        backend=None,
     ) -> tuple:
         """Plan, execute and account one closed batch at ``start_us``.
 
@@ -959,6 +1021,13 @@ class ServingEngine:
         ``workload`` is the batch's merged workload when the caller (the
         scheduler, which merged it for placement pricing) already has it;
         otherwise it is merged here.
+
+        ``backend`` overrides the model backend execution runs on — the
+        live front end's replica workers execute concurrently, and the
+        per-class serving backend carries per-run mutable state
+        (``set_fusion``, the online detector's dedup set), so each worker
+        passes its own instance (see :meth:`make_worker_backend`).  Plans
+        still resolve through ``device``'s planner and the shared cache.
         """
         if device is None:
             device = self.device_for_replica(replica_id)
@@ -982,12 +1051,14 @@ class ServingEngine:
                 serial_us += speculation.search_us
         run = run_transformer(
             workload,
-            device.backend,
+            backend if backend is not None else device.backend,
             mode=self.mode,
             enforce_memory=self.enforce_memory,
             devices=self.devices,
         )
-        exec_us = run.latency_ms * 1e3 + serial_us
+        exec_us = run.latency_ms * 1e3 + (
+            serial_us if self.charge_selection else 0.0
+        )
         batch_report = BatchReport(
             batch_id=batch_id,
             request_ids=[r.request_id for r in batch],

@@ -73,6 +73,35 @@ def make_replica_backends(
     return backends
 
 
+def make_live_frontend(
+    spec: GPUSpec,
+    *,
+    max_queue_depth: Optional[int] = None,
+    overload: str = "shed",
+    **engine_kwargs,
+):
+    """Build a :class:`~repro.runtime.serving.ServingEngine` plus the
+    asyncio front end serving it — the live analogue of constructing an
+    engine and calling ``run(policy="continuous")``.
+
+    ``engine_kwargs`` forward to the engine constructor (``replicas``,
+    ``replica_specs``, ``batch_window_us``, ``plan_cache``, ...);
+    ``max_queue_depth``/``overload`` configure the front end's
+    backpressure (see
+    :class:`~repro.runtime.frontend.AsyncServingFrontend`).  Returns
+    ``(engine, frontend)`` so callers keep the engine handle for plan-cache
+    persistence and replay.
+    """
+    from .frontend import AsyncServingFrontend
+    from .serving import ServingEngine
+
+    engine = ServingEngine(spec, **engine_kwargs)
+    frontend = AsyncServingFrontend(
+        engine, max_queue_depth=max_queue_depth, overload=overload
+    )
+    return engine, frontend
+
+
 def validate_backend_kwargs(name: str, kwargs: dict) -> Optional[str]:
     """Check that ``kwargs`` bind to the backend's constructor signature.
 

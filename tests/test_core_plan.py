@@ -206,7 +206,7 @@ class TestPlanCachePersistence:
         planner, spec, resolved = self._populated(tiledb)
         path = tmp_path / "plans.json"
         stats = planner.cache.save(path, tiledb_key=tiledb.cache_key)
-        assert stats == {"entries": 2, "skipped": 0}
+        assert stats == {"entries": 2, "skipped": 0, "aged_out": 0}
 
         loaded = PlanCache.load(path, expected_tiledb_key=tiledb.cache_key)
         assert len(loaded) == 2

@@ -1,0 +1,311 @@
+"""Tests for the live asyncio serving front end.
+
+Three properties carry the real-concurrency refactor:
+
+* **Equivalence** — the front end drives the same
+  :class:`~repro.runtime.scheduler.SchedulingPolicy` as the simulated
+  :class:`ContinuousScheduler`, so a seeded trace replayed in virtual time
+  reproduces the simulated run's batch compositions and placements
+  decision-for-decision.
+* **Backpressure** — over the queue-depth bound, shed requests are
+  reported (never silently dropped) and block mode bounds in-flight depth
+  without losing requests.
+* **Liveness** — the real asyncio worker path serves complete, correct
+  reports with zero extra cold Algorithm 1 searches versus the simulated
+  schedule of the same trace.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.hw import A100, V100
+from repro.models import bert_workload, longformer_workload, switch_workload
+from repro.models.workloads import opt_inference_workload
+from repro.runtime import (
+    AsyncServingFrontend,
+    ContinuousScheduler,
+    ServingEngine,
+    VirtualClock,
+    decision_trace,
+    make_live_frontend,
+    replay_trace,
+    serve_workloads,
+)
+
+
+def make_engine(**kwargs):
+    defaults = dict(
+        max_batch_tokens=8192,
+        max_batch_size=4,
+        batch_window_us=1500.0,
+        enforce_memory=False,
+        replicas=3,
+        overlap_selection=False,
+        charge_selection=False,
+    )
+    defaults.update(kwargs)
+    return ServingEngine(V100, **defaults)
+
+
+def mixed_trace(engine, n=16, interarrival_us=400.0, seed_base=0):
+    """A seeded mixed-kind trace: proj, ffn-act, attention and moe plans."""
+    workloads = []
+    for i in range(n):
+        seed = seed_base + i
+        if i % 5 == 0:
+            workloads.append(
+                opt_inference_workload("125m", batch_size=2, seed=seed)
+            )
+        elif i % 5 == 3:
+            workloads.append(switch_workload(8, batch_size=2, seed=seed))
+        else:
+            workloads.append(bert_workload("mnli", 2, seed=seed))
+    return engine.submit_many(workloads, interarrival_us=interarrival_us)
+
+
+def simulated_and_replayed(engine_kwargs, trace_kwargs):
+    sim_engine = make_engine(**engine_kwargs)
+    mixed_trace(sim_engine, **trace_kwargs)
+    simulated = sim_engine.run(policy="continuous")
+
+    live_engine = make_engine(**engine_kwargs)
+    requests = mixed_trace(live_engine, **trace_kwargs)
+    replayed = replay_trace(live_engine, requests)
+    return simulated, replayed
+
+
+class TestReplayEquivalence:
+    def test_homogeneous_trace_is_decision_identical(self):
+        simulated, replayed = simulated_and_replayed({}, {})
+        assert decision_trace(replayed, include_timing=True) == decision_trace(
+            simulated, include_timing=True
+        )
+        assert replayed.policy == "live"
+
+    def test_equivalence_includes_plan_cache_traffic(self):
+        """Zero extra cold searches: the replay's plan-cache misses equal
+        the simulated run's exactly (the batch-level hit/miss counts are
+        already compared by decision_trace)."""
+        simulated, replayed = simulated_and_replayed({}, {})
+        assert (
+            replayed.plan_cache_stats["misses"]
+            == simulated.plan_cache_stats["misses"]
+        )
+        assert (
+            replayed.plan_cache_stats["hits"]
+            == simulated.plan_cache_stats["hits"]
+        )
+
+    def test_heterogeneous_cost_aware_with_overlap(self):
+        """Mixed device classes with speculative selection on: placements
+        come from cost-aware pricing and speculation resolves against the
+        predicted class — both reproduced decision-for-decision."""
+        kwargs = dict(
+            replica_specs=[V100, A100, V100],
+            replicas=1,
+            overlap_selection=True,
+        )
+        simulated, replayed = simulated_and_replayed(kwargs, {})
+        assert decision_trace(replayed, include_timing=True) == decision_trace(
+            simulated, include_timing=True
+        )
+
+    @pytest.mark.parametrize("seed_base", [0, 100, 1000])
+    def test_seeded_traces_property(self, seed_base):
+        """The equivalence is a property over traces, not one example."""
+        trace_kwargs = dict(n=12, interarrival_us=700.0, seed_base=seed_base)
+        simulated, replayed = simulated_and_replayed({}, trace_kwargs)
+        assert decision_trace(replayed) == decision_trace(simulated)
+
+    def test_compositions_match_under_default_accounting(self):
+        """With charge_selection=True (the legacy accounting), measured
+        selection wall time perturbs the simulated timeline run-to-run, but
+        admission decisions depend only on arrivals/budgets/windows — batch
+        compositions still match."""
+        kwargs = dict(charge_selection=True, replicas=1)
+        simulated, replayed = simulated_and_replayed(kwargs, {})
+        sim_batches = [tuple(b["requests"]) for b in decision_trace(simulated)]
+        live_batches = [tuple(b["requests"]) for b in decision_trace(replayed)]
+        assert live_batches == sim_batches
+
+    def test_replay_consumes_engine_queue_like_run(self):
+        engine = make_engine()
+        mixed_trace(engine, n=6)
+        report = replay_trace(engine)
+        assert len(report.requests) == 6
+        assert engine.pending() == 0
+
+    def test_replica_stats_match_simulated(self):
+        simulated, replayed = simulated_and_replayed({}, {})
+        sim_stats = [
+            (r.replica_id, r.device, r.batches, r.tokens)
+            for r in simulated.replica_stats
+        ]
+        live_stats = [
+            (r.replica_id, r.device, r.batches, r.tokens)
+            for r in replayed.replica_stats
+        ]
+        assert live_stats == sim_stats
+
+
+class TestVirtualClock:
+    def test_fires_in_time_order_with_fifo_ties(self):
+        clock = VirtualClock()
+        fired = []
+        clock.call_at(5.0, fired.append, "late")
+        clock.call_at(1.0, fired.append, "early")
+        clock.call_at(1.0, fired.append, "early-second")
+        while clock.pending():
+            clock.fire_next()
+        assert fired == ["early", "early-second", "late"]
+        assert clock.now_us() == 5.0
+
+    def test_now_visible_inside_callback(self):
+        clock = VirtualClock()
+        seen = []
+        clock.call_at(42.0, lambda: seen.append(clock.now_us()))
+        clock.fire_next()
+        assert seen == [42.0]
+
+
+class TestBackpressure:
+    def test_shed_requests_reported_not_dropped(self):
+        """Past the depth bound in shed mode, every refused request still
+        produces a (failed, shed) report and resolves its future."""
+        engine = make_engine(
+            replicas=2,
+            batch_window_us=500000.0,  # batches stay open during the burst
+            max_batch_size=64,
+            charge_selection=True,
+        )
+        workloads = [bert_workload("mnli", 2, seed=i) for i in range(8)]
+
+        async def main():
+            frontend = AsyncServingFrontend(
+                engine, max_queue_depth=3, overload="shed"
+            )
+            await frontend.start()
+            futures = [await frontend.submit(w) for w in workloads]
+            await frontend.stop()
+            return frontend.report(), await asyncio.gather(*futures)
+
+        report, results = asyncio.run(main())
+        assert len(report.requests) == len(workloads)
+        assert report.shed_requests == 5
+        shed = [r for r in results if r.shed]
+        assert len(shed) == 5
+        assert all(not r.ok and "shed" in r.error for r in shed)
+        assert all(r.batch_id == -1 for r in shed)
+        served = [r for r in results if not r.shed]
+        assert all(r.ok for r in served)
+        # Shed requests count toward failures; served ones completed.
+        assert report.failed_requests == 5
+
+    def test_block_mode_bounds_inflight_and_serves_everything(self):
+        engine = make_engine(
+            replicas=2,
+            batch_window_us=2000.0,
+            max_batch_size=1,  # dispatch at admission: capacity recycles
+            charge_selection=True,
+        )
+        workloads = [bert_workload("mnli", 2, seed=i) for i in range(6)]
+        max_seen = 0
+
+        async def main():
+            nonlocal max_seen
+            frontend = AsyncServingFrontend(
+                engine, max_queue_depth=2, overload="block"
+            )
+            await frontend.start()
+            futures = []
+            for w in workloads:
+                futures.append(await frontend.submit(w))
+                max_seen = max(max_seen, frontend.inflight)
+            await frontend.stop()
+            await asyncio.gather(*futures)
+            return frontend.report()
+
+        report = asyncio.run(main())
+        assert len(report.requests) == len(workloads)
+        assert report.shed_requests == 0
+        assert report.failed_requests == 0
+        assert max_seen <= 2
+
+    def test_depth_and_overload_validation(self):
+        engine = make_engine()
+        with pytest.raises(ValueError, match="max_queue_depth"):
+            AsyncServingFrontend(engine, max_queue_depth=0)
+        with pytest.raises(ValueError, match="overload"):
+            AsyncServingFrontend(engine, overload="drop")
+        with pytest.raises(ValueError, match="block"):
+            AsyncServingFrontend(
+                engine,
+                max_queue_depth=1,
+                overload="block",
+                inline_execution=True,
+            )
+
+
+class TestLiveServing:
+    def test_live_serving_zero_extra_cold_searches(self):
+        """The same workloads served live (real workers, real clock) run
+        exactly as many cold Algorithm 1 searches as the simulated
+        schedule: the sharded cache's single-flight resolve never
+        duplicates a search across concurrent workers."""
+        workloads = [bert_workload("mnli", 2, seed=i % 3) for i in range(10)]
+
+        sim_engine = make_engine(replicas=4, charge_selection=True)
+        sim_engine.submit_many(workloads, interarrival_us=200.0)
+        simulated = sim_engine.run(policy="continuous")
+
+        live_engine = make_engine(replicas=4, charge_selection=True)
+        live = serve_workloads(live_engine, workloads)
+        assert len(live.requests) == len(workloads)
+        assert live.failed_requests == 0
+        assert (
+            live.plan_cache_stats["misses"]
+            == simulated.plan_cache_stats["misses"]
+        )
+
+    def test_live_report_is_complete_and_consistent(self):
+        workloads = [bert_workload("mnli", 2, seed=i) for i in range(8)]
+        engine = make_engine(replicas=2, charge_selection=True)
+        report = serve_workloads(engine, workloads)
+        served = {r for b in report.batches for r in b.request_ids}
+        assert served == {r.request_id for r in report.requests}
+        assert sum(b.size for b in report.batches) == len(workloads)
+        assert sum(r.batches for r in report.replica_stats) == len(
+            report.batches
+        )
+
+    def test_longformer_live(self):
+        """Attention-plan traffic through the live path."""
+        workloads = [
+            longformer_workload(seq_len=1024, batch_size=1, seed=i)
+            for i in range(4)
+        ]
+        engine = make_engine(replicas=2, charge_selection=True)
+        report = serve_workloads(engine, workloads)
+        assert report.failed_requests == 0
+        assert any("attention" in b.plan_kinds for b in report.batches)
+
+    def test_make_live_frontend_convenience(self):
+        engine, frontend = make_live_frontend(
+            V100,
+            replicas=2,
+            max_batch_size=4,
+            enforce_memory=False,
+            max_queue_depth=16,
+        )
+        assert frontend.engine is engine
+        assert frontend.max_queue_depth == 16
+
+        async def main():
+            await frontend.start()
+            future = await frontend.submit(bert_workload("mnli", 2, seed=0))
+            await frontend.stop()
+            return await future
+
+        result = asyncio.run(main())
+        assert result.ok
