@@ -1,0 +1,114 @@
+"""The pitlint CLI: ``python -m repro.analysis [paths...]``.
+
+Exit status: 0 when clean, 1 when findings survive suppression, 2 on
+usage errors — so the CI job is just the bare invocation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .engine import analyze, load_corpus
+from .lockgraph import static_lock_order
+from .registry import all_rules
+from .reporters import render_json, render_text
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "pitlint: concurrency- and determinism-invariant checker for "
+            "the PIT reproduction"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        help="also write the report (in the chosen format) to FILE",
+    )
+    parser.add_argument(
+        "--rules",
+        metavar="ID[,ID...]",
+        help="run only these rule ids (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list registered rules and exit",
+    )
+    parser.add_argument(
+        "--lock-graph",
+        action="store_true",
+        help="print the statically derived lock-order graph and exit",
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="include suppressed findings in text output",
+    )
+    args = parser.parse_args(argv)
+
+    # Rule registration side effect.
+    from . import rules as _rules  # noqa: F401
+
+    if args.list_rules:
+        for info in all_rules():
+            print(f"{info.rule_id:24} {info.description}")
+        return 0
+
+    try:
+        corpus = load_corpus(args.paths)
+    except OSError as exc:
+        print(f"pitlint: cannot read {exc.filename}: {exc.strerror}",
+              file=sys.stderr)
+        return 2
+
+    if args.lock_graph:
+        graph = static_lock_order(corpus)
+        print(render_json_graph(graph))
+        return 1 if graph["cycles"] else 0
+
+    rule_ids = args.rules.split(",") if args.rules else None
+    try:
+        report = analyze(corpus, rule_ids=rule_ids)
+    except KeyError as exc:
+        print(f"pitlint: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    rendered = (
+        render_json(report)
+        if args.format == "json"
+        else render_text(report, verbose=args.verbose)
+    )
+    print(rendered)
+    if args.output:
+        payload = (
+            rendered if args.format == "json" else render_json(report)
+        )
+        with open(args.output, "w", encoding="utf-8") as f:
+            f.write(payload + "\n")
+    return 0 if report.clean else 1
+
+
+def render_json_graph(graph: dict) -> str:
+    import json
+
+    return json.dumps(graph, indent=2)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

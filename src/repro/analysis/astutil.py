@@ -1,0 +1,104 @@
+"""Small AST helpers shared by the rules.
+
+Nothing here is repo-specific: import-alias resolution (so ``np.random``
+and ``numpy.random`` are one name), dotted call-chain rendering, and a
+function iterator that attributes methods to their class.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Optional
+
+
+class ImportMap:
+    """Alias -> canonical dotted module/name map for one module.
+
+    ``import numpy as np`` maps ``np`` to ``numpy``; ``from time import
+    perf_counter as pc`` maps ``pc`` to ``time.perf_counter``.  Resolution
+    rewrites the head of a dotted chain, so ``np.random.default_rng``
+    canonicalizes to ``numpy.random.default_rng``.
+    """
+
+    def __init__(self, tree: ast.Module):
+        self.aliases: dict = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self.aliases[alias.asname or alias.name.split(".")[0]] = (
+                        alias.name if alias.asname else alias.name.split(".")[0]
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                for alias in node.names:
+                    self.aliases[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}"
+                    )
+
+    def resolve(self, dotted: Optional[str]) -> Optional[str]:
+        if not dotted:
+            return dotted
+        head, _, rest = dotted.partition(".")
+        head = self.aliases.get(head, head)
+        return f"{head}.{rest}" if rest else head
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_name(node: ast.Call, imports: Optional[ImportMap] = None) -> Optional[str]:
+    """Canonical dotted name of a call's target, when it is a plain chain."""
+    name = dotted_name(node.func)
+    if name is not None and imports is not None:
+        return imports.resolve(name)
+    return name
+
+
+@dataclass(frozen=True)
+class FunctionInfo:
+    """One function or method definition."""
+
+    node: ast.AST  # FunctionDef | AsyncFunctionDef
+    name: str
+    #: Enclosing class name, or None for module-level functions.
+    class_name: Optional[str]
+
+    @property
+    def qualname(self) -> str:
+        if self.class_name:
+            return f"{self.class_name}.{self.name}"
+        return self.name
+
+
+def iter_functions(tree: ast.Module) -> list:
+    """Every function/method in a module, with its enclosing class.
+
+    Nested functions are attributed to their outermost enclosing def's
+    class; that is enough for name-based call resolution.
+    """
+    functions: list = []
+
+    def visit(node, class_name):
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                functions.append(FunctionInfo(child, child.name, class_name))
+                visit(child, class_name)
+            elif isinstance(child, ast.ClassDef):
+                visit(child, child.name)
+            else:
+                visit(child, class_name)
+
+    visit(tree, None)
+    return functions
+
+
+CONSTRUCTOR_NAMES = ("__init__", "__post_init__", "__new__", "__setstate__")

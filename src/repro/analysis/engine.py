@@ -1,0 +1,184 @@
+"""The analysis engine: parse a file set, run rules, apply suppressions.
+
+The engine owns no rule logic.  It builds a :class:`Corpus` — every
+analyzed module parsed once, with its source lines and suppression pragmas
+— hands it to each registered rule, and folds the raw findings against the
+pragmas into a :class:`~repro.analysis.findings.Report`.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .findings import Finding, Report, extract_suppressions
+from .registry import all_rules, get_rule
+
+
+@dataclass
+class Module:
+    """One parsed source file."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    lines: list = field(default_factory=list)
+    suppressions: list = field(default_factory=list)
+
+
+class Corpus:
+    """Every module of one analysis run, parsed once and shared by rules."""
+
+    def __init__(self, modules: list):
+        self.modules = modules
+        self.by_path = {m.path: m for m in modules}
+
+    def __iter__(self):
+        return iter(self.modules)
+
+    def __len__(self) -> int:
+        return len(self.modules)
+
+
+def _iter_python_files(paths) -> list:
+    files = []
+    for path in paths:
+        if os.path.isfile(path):
+            files.append(path)
+            continue
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames.sort()
+            dirnames[:] = [d for d in dirnames if d != "__pycache__"]
+            for name in sorted(filenames):
+                if name.endswith(".py"):
+                    files.append(os.path.join(dirpath, name))
+    return files
+
+
+def load_corpus(paths, *, root: Optional[str] = None) -> Corpus:
+    """Parse every ``.py`` file under ``paths`` into a :class:`Corpus`.
+
+    ``root`` (default: the current directory) is stripped from reported
+    paths so findings are repo-relative and stable across machines.  A file
+    that fails to parse becomes a corpus-less ``syntax-error`` finding at
+    analysis time rather than an exception — the checker must be runnable
+    on a broken tree, that is when it is needed most.
+    """
+    root = os.path.abspath(root) if root else os.getcwd()
+    modules = []
+    for file_path in _iter_python_files(paths):
+        abs_path = os.path.abspath(file_path)
+        rel = os.path.relpath(abs_path, root)
+        display = file_path if rel.startswith("..") else rel
+        with open(abs_path, encoding="utf-8") as f:
+            source = f.read()
+        try:
+            tree = ast.parse(source, filename=display)
+        except SyntaxError as exc:
+            tree = ast.Module(body=[], type_ignores=[])
+            modules.append(
+                Module(
+                    path=display,
+                    source=source,
+                    tree=tree,
+                    lines=source.splitlines(),
+                    suppressions=[],
+                )
+            )
+            modules[-1].parse_error = (exc.lineno or 1, exc.msg)
+            continue
+        modules.append(
+            Module(
+                path=display,
+                source=source,
+                tree=tree,
+                lines=source.splitlines(),
+                suppressions=extract_suppressions(source, display),
+            )
+        )
+    return Corpus(modules)
+
+
+def analyze(corpus: Corpus, *, rule_ids: Optional[list] = None) -> Report:
+    """Run rules over ``corpus`` and fold pragmas into the report.
+
+    A finding survives unless a matching pragma covers its line; matched
+    pragmas are marked used, which the ``pragma-justification`` rule reads
+    to flag suppressions that silence nothing.  Suppression is applied
+    after *all* rules ran, so pragma-rule findings about a pragma cannot be
+    silenced by the very pragma they complain about.
+    """
+    # Import for the registration side effect; a later `rules` plugin dir
+    # would import here too.
+    from . import rules as _rules  # noqa: F401
+
+    selected = (
+        [get_rule(rule_id) for rule_id in rule_ids]
+        if rule_ids is not None
+        else all_rules()
+    )
+    report = Report(files=len(corpus), rules=[r.rule_id for r in selected])
+
+    raw: list = []
+    for module in corpus:
+        error = getattr(module, "parse_error", None)
+        if error is not None:
+            raw.append(
+                Finding(
+                    rule="syntax-error",
+                    path=module.path,
+                    line=error[0],
+                    message=f"file does not parse: {error[1]}",
+                    hint="pitlint analyzes the AST; fix the syntax first",
+                )
+            )
+    for info in selected:
+        raw.extend(info.run(corpus))
+
+    suppressions = [s for module in corpus for s in module.suppressions]
+    for finding in sorted(raw, key=lambda f: (f.path, f.line, f.rule)):
+        silencer = None
+        # The self-audit rule must not be silenceable by the pragma it
+        # audits (or a wildcard on the same line) — otherwise one could
+        # write an unjustified pragma that excuses itself.
+        if finding.rule != "pragma-justification":
+            for suppression in suppressions:
+                if suppression.matches(finding):
+                    silencer = suppression
+                    break
+        if silencer is None:
+            report.findings.append(finding)
+        else:
+            silencer.used = True
+            report.suppressed.append(finding)
+
+    # Usage audit: a pragma that silenced nothing is dead weight (or a
+    # stale excuse for a finding that was since fixed) — flag it under the
+    # pragma rule.  Only when that rule is selected, and only for pragmas
+    # that were not already flagged as unjustified.
+    if "pragma-justification" in report.rules:
+        for suppression in suppressions:
+            if not suppression.used and suppression.reason:
+                report.findings.append(
+                    Finding(
+                        rule="pragma-justification",
+                        path=suppression.path,
+                        line=suppression.line,
+                        message=(
+                            f"pragma `allow[{suppression.rule}]` suppresses "
+                            f"nothing on its line"
+                        ),
+                        hint="remove the stale pragma",
+                    )
+                )
+        report.findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return report
+
+
+def analyze_paths(
+    paths, *, root: Optional[str] = None, rule_ids: Optional[list] = None
+) -> Report:
+    """Convenience: :func:`load_corpus` + :func:`analyze`."""
+    return analyze(load_corpus(paths, root=root), rule_ids=rule_ids)

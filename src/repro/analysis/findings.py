@@ -1,0 +1,140 @@
+"""Findings, suppression pragmas and the analysis report.
+
+A :class:`Finding` is one rule violation anchored to a file and line.  A
+:class:`Suppression` is one inline pragma of the form::
+
+    # pit: allow[rule-id] — one-line justification
+
+which silences findings of ``rule-id`` on the pragma's own line or, for a
+standalone comment line, on the next code line below it.  The justification
+is mandatory: a pragma without one is itself a finding
+(:data:`~repro.analysis.rules` ``pragma-justification``), so every
+suppression in the tree documents *why* the invariant may be relaxed there.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Optional
+
+#: Pragma syntax.  The separator before the justification accepts an em
+#: dash, en dash, hyphen(s) or a colon, so plain-ASCII environments can
+#: write the pragma as ``pit: allow[rule-id] - reason`` after the hash.
+PRAGMA_RE = re.compile(
+    r"#\s*pit:\s*allow\[(?P<rule>[A-Za-z0-9_*-]+)\]"
+    r"(?:\s*(?:[—–:]|-+)\s*(?P<reason>.*\S))?\s*$"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at ``path:line``."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+    #: Short suggestion for how to fix (or legitimately suppress) it.
+    hint: str = ""
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}"
+
+    def to_json(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+
+@dataclass
+class Suppression:
+    """One parsed ``# pit: allow[...]`` pragma."""
+
+    rule: str
+    path: str
+    #: Line the pragma comment sits on.
+    line: int
+    #: Line(s) the pragma silences: its own line, plus — when the pragma is
+    #: a standalone comment — the next code line below it.
+    covers: tuple
+    reason: Optional[str] = None
+    #: Set by the engine when the pragma actually silenced a finding.
+    used: bool = field(default=False, compare=False)
+
+    def matches(self, finding: Finding) -> bool:
+        if finding.path != self.path or finding.line not in self.covers:
+            return False
+        return self.rule == "*" or self.rule == finding.rule
+
+
+def extract_suppressions(source: str, path: str) -> list:
+    """Parse every suppression pragma in ``source``.
+
+    Comments are found with :mod:`tokenize` (never inside string
+    literals).  A pragma that shares its line with code covers that line; a
+    pragma on a comment-only line covers the next non-blank, non-comment
+    line, so it can sit above a long statement.
+    """
+    suppressions = []
+    lines = source.splitlines()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return suppressions
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        match = PRAGMA_RE.search(tok.string)
+        if match is None:
+            continue
+        line = tok.start[0]
+        covers = [line]
+        stripped = lines[line - 1].strip() if line <= len(lines) else ""
+        if stripped.startswith("#"):
+            # Standalone comment: cover the next code line below.
+            for next_line in range(line + 1, len(lines) + 1):
+                text = lines[next_line - 1].strip()
+                if text and not text.startswith("#"):
+                    covers.append(next_line)
+                    break
+        suppressions.append(
+            Suppression(
+                rule=match.group("rule"),
+                path=path,
+                line=line,
+                covers=tuple(covers),
+                reason=match.group("reason"),
+            )
+        )
+    return suppressions
+
+
+@dataclass
+class Report:
+    """The outcome of one analysis run."""
+
+    findings: list = field(default_factory=list)
+    #: Findings a pragma silenced (kept for the JSON report's audit trail).
+    suppressed: list = field(default_factory=list)
+    files: int = 0
+    rules: list = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def to_json(self) -> dict:
+        return {
+            "clean": self.clean,
+            "files": self.files,
+            "rules": list(self.rules),
+            "findings": [f.to_json() for f in self.findings],
+            "suppressed": [f.to_json() for f in self.suppressed],
+        }

@@ -1,0 +1,57 @@
+"""The rule registry.
+
+A rule is a callable ``rule(corpus) -> list[Finding]`` registered under a
+stable kebab-case id.  Registration happens at import time via the
+:func:`rule` decorator; the engine runs every registered rule (or a
+requested subset) over one parsed :class:`~repro.analysis.engine.Corpus`,
+so corpus-level rules (lock-order graphs, cross-function reachability) and
+per-file rules share one interface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+_RULES: dict = {}
+
+
+@dataclass(frozen=True)
+class RuleInfo:
+    """A registered rule: id, one-line description, and the checker."""
+
+    rule_id: str
+    description: str
+    check: Callable
+
+    def run(self, corpus) -> list:
+        return list(self.check(corpus))
+
+
+def rule(rule_id: str, description: str) -> Callable:
+    """Register ``check(corpus) -> list[Finding]`` under ``rule_id``."""
+
+    def decorator(check: Callable) -> Callable:
+        if rule_id in _RULES:
+            raise ValueError(f"rule id {rule_id!r} is already registered")
+        _RULES[rule_id] = RuleInfo(rule_id, description, check)
+        return check
+
+    return decorator
+
+
+def all_rules() -> list:
+    """Every registered rule, in registration order."""
+    return list(_RULES.values())
+
+
+def get_rule(rule_id: str) -> RuleInfo:
+    try:
+        return _RULES[rule_id]
+    except KeyError:
+        known = ", ".join(sorted(_RULES))
+        raise KeyError(f"unknown rule {rule_id!r} (known: {known})") from None
+
+
+def known_rule_ids() -> set:
+    return set(_RULES)

@@ -1,0 +1,39 @@
+"""Text and JSON renderings of an analysis report."""
+
+from __future__ import annotations
+
+import json
+
+from .findings import Report
+
+
+def render_text(report: Report, *, verbose: bool = False) -> str:
+    """Human-readable findings, one `path:line: [rule] message` per line."""
+    lines = []
+    for finding in report.findings:
+        lines.append(
+            f"{finding.location()}: [{finding.rule}] {finding.message}"
+        )
+        if finding.hint:
+            lines.append(f"    hint: {finding.hint}")
+    if verbose and report.suppressed:
+        lines.append("")
+        for finding in report.suppressed:
+            lines.append(
+                f"{finding.location()}: [{finding.rule}] suppressed: "
+                f"{finding.message}"
+            )
+    summary = (
+        f"pitlint: {len(report.findings)} finding"
+        f"{'' if len(report.findings) == 1 else 's'} "
+        f"({len(report.suppressed)} suppressed) in {report.files} files"
+    )
+    if lines:
+        lines.append("")
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(report: Report) -> str:
+    """Machine-readable report (the CI artifact format)."""
+    return json.dumps(report.to_json(), indent=2, sort_keys=False)

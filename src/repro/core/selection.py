@@ -24,6 +24,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..analysis.runtime_checks import make_lock
 from ..hw.costmodel import TileConfig, sparse_matmul_time_us
 from ..hw.spec import GPUSpec, dtype_bytes
 from .cover import CoverCache, SampleStack, batched_matmul_workload, matmul_workload
@@ -344,7 +345,7 @@ def sparsity_signature(sparsity_samples, *, quantum: float = SIGNATURE_QUANTUM):
 
 #: Process-wide shared plan caches by name — see :meth:`PlanCache.shared`.
 _SHARED_PLAN_CACHES: dict = {}
-_SHARED_PLAN_CACHES_LOCK = threading.Lock()
+_SHARED_PLAN_CACHES_LOCK = make_lock("shared_plan_caches", reentrant=False)
 
 #: Default shard count for new caches.  Eight shards keep bookkeeping
 #: contention negligible for the replica counts the serving stack runs
@@ -368,7 +369,7 @@ class _PlanCacheShard:
 
     def __init__(self):
         self.entries: OrderedDict = OrderedDict()
-        self.lock = threading.RLock()
+        self.lock = make_lock("shard")
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -419,7 +420,13 @@ class PlanCache:
         self._stamp = itertools.count()
 
     def __len__(self) -> int:
-        return sum(len(s.entries) for s in self._shard_list)
+        # Sequential per-shard locking (never nested): the total is a
+        # consistent-enough snapshot, and no cross-shard lock order exists.
+        total = 0
+        for s in self._shard_list:
+            with s.lock:
+                total += len(s.entries)
+        return total
 
     def __contains__(self, key) -> bool:
         shard = self._shard_for(key)
@@ -430,15 +437,27 @@ class PlanCache:
 
     @property
     def hits(self) -> int:
-        return sum(s.hits for s in self._shard_list)
+        total = 0
+        for s in self._shard_list:
+            with s.lock:
+                total += s.hits
+        return total
 
     @property
     def misses(self) -> int:
-        return sum(s.misses for s in self._shard_list)
+        total = 0
+        for s in self._shard_list:
+            with s.lock:
+                total += s.misses
+        return total
 
     @property
     def evictions(self) -> int:
-        return sum(s.evictions for s in self._shard_list)
+        total = 0
+        for s in self._shard_list:
+            with s.lock:
+                total += s.evictions
+        return total
 
     # -- shard routing ----------------------------------------------------
 
@@ -544,10 +563,25 @@ class PlanCache:
 
     def put(self, key, value) -> None:
         shard = self._shard_for(key)
+        # Snapshot the other shards' sizes *before* taking the target
+        # shard's lock: calling `len(self)` while holding it would nest
+        # shard locks, and two inserts landing on different shards could
+        # then deadlock by nesting in opposite order.  The snapshot may be
+        # stale by the time we evict — the cache already tolerates a
+        # transient overshoot of up to `shards - 1` entries (class
+        # docstring), and single-threaded behavior is unchanged.
+        other_entries = 0
+        for s in self._shard_list:
+            if s is not shard:
+                with s.lock:
+                    other_entries += len(s.entries)
         with shard.lock:
             shard.entries[key] = [value, next(self._stamp)]
             shard.entries.move_to_end(key)
-            while len(self) > self.capacity and len(shard.entries) > 1:
+            while (
+                other_entries + len(shard.entries) > self.capacity
+                and len(shard.entries) > 1
+            ):
                 shard.entries.popitem(last=False)
                 shard.evictions += 1
 
@@ -752,7 +786,11 @@ class PlanCache:
         for entry in payload["entries"]:
             key = decode_value(entry["key"])
             shard = cache._shard_for(key)
-            shard.entries[key] = [decode_value(entry["value"]), next(cache._stamp)]
+            with shard.lock:
+                shard.entries[key] = [
+                    decode_value(entry["value"]),
+                    next(cache._stamp),
+                ]
         return cache
 
     @property

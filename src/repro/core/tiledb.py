@@ -16,9 +16,9 @@ needs:
 from __future__ import annotations
 
 import math
-import threading
 from dataclasses import dataclass
 
+from ..analysis.runtime_checks import make_lock
 from ..hw.costmodel import TileConfig
 from ..hw.profiler import TileProfile, profile_matmul_tiles
 from ..hw.spec import GPUSpec
@@ -45,7 +45,7 @@ class TileEntry:
 #: Shared TileDB instances per (device, dtype, tensor_core, max_tiles) — see
 #: :meth:`TileDB.shared`.
 _INSTANCE_CACHE: dict = {}
-_INSTANCE_CACHE_LOCK = threading.Lock()
+_INSTANCE_CACHE_LOCK = make_lock("instance_cache", reentrant=False)
 
 
 class TileDB:

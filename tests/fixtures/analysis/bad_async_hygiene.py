@@ -1,0 +1,12 @@
+"""Known-bad: blocking calls inside async def bodies."""
+
+import time
+
+
+async def bad_worker(lock, fut, backend, batch):
+    time.sleep(0.01)  # expect[async-hygiene]
+    lock.acquire()  # expect[async-hygiene]
+    fut.result()  # expect[async-hygiene]
+    backend.execute_batch(batch)  # expect[async-hygiene]
+    with open("dump.json") as f:  # expect[async-hygiene]
+        return f.read()

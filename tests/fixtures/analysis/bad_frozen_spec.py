@@ -1,0 +1,21 @@
+"""Known-bad: attribute mutation on frozen plan objects.
+
+Parsed only, never imported — the bare PlanSpec/KernelChoice names are
+resolved by annotation and constructor-name inference, not at runtime.
+"""
+
+
+def retarget(spec: PlanSpec, m):  # noqa: F821
+    spec.m = m  # expect[frozen-spec-purity]
+    spec.cost_us += 1.0  # expect[frozen-spec-purity]
+    setattr(spec, "kind", "matmul")  # expect[frozen-spec-purity]
+    object.__setattr__(spec, "m", m)  # expect[frozen-spec-purity]
+    return spec
+
+
+def degrade(planner, shapes):
+    choice = KernelChoice(None, 0.0)  # noqa: F821
+    choice.cost_us = 1.0  # expect[frozen-spec-purity]
+    resolved = planner.resolve(shapes)
+    resolved.plan = None  # expect[frozen-spec-purity]
+    return choice, resolved

@@ -1,0 +1,35 @@
+"""Known-bad: shard state and guarded registries touched without locks,
+plus an inconsistent lock-order pair.  Never imported — parsed only."""
+
+import threading
+
+_REG: dict = {}
+_REG_LOCK = threading.Lock()
+
+_A_LOCK = threading.Lock()
+_B_LOCK = threading.Lock()
+
+
+def put_unlocked(cache, key, value):
+    shard = cache._shard_for(key)
+    shard.entries[key] = value  # expect[lock-discipline]
+
+
+def total_hits(cache):
+    return sum(s.hits for s in cache._shard_list)  # expect[lock-discipline]
+
+
+def register_unlocked(name, value):
+    _REG[name] = value  # expect[lock-discipline]
+
+
+def forward():
+    with _A_LOCK:
+        with _B_LOCK:  # expect[lock-discipline]
+            pass
+
+
+def backward():
+    with _B_LOCK:
+        with _A_LOCK:
+            pass

@@ -1,0 +1,11 @@
+"""Known-bad pragmas: unjustified, unknown-rule, and stale suppressions.
+
+Expected findings are enumerated in tests/test_analysis.py (not with
+inline expect markers: a trailing marker would change the pragma text).
+"""
+
+import numpy as np
+
+rng = np.random.default_rng()  # pit: allow[seeded-rng]
+probe = 3  # pit: allow[no-such-rule] - the rule id is misspelled
+count = 4  # pit: allow[seeded-rng] - there is no finding on this line

@@ -1,0 +1,19 @@
+"""Known-bad: nondeterminism reachable from the scheduling decision core."""
+
+import random
+import time
+
+
+class SchedulingPolicy:
+    def admit(self, queue):
+        now = time.time()  # expect[replay-determinism]
+        jitter = random.random()  # expect[replay-determinism]
+        for replica in {1, 2, 3}:  # expect[replay-determinism]
+            now += replica
+        return self._tiebreak(queue, now + jitter)
+
+    def _tiebreak(self, queue, score):
+        pending = set(queue)
+        for item in pending:  # expect[replay-determinism]
+            score += item
+        return score

@@ -1,0 +1,12 @@
+"""Known-bad: entropy-seeded and hidden-global-state RNG use."""
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def sample_plans(count):
+    rng = np.random.default_rng()  # expect[seeded-rng]
+    noise = np.random.rand(count)  # expect[seeded-rng]
+    np.random.seed(7)  # expect[seeded-rng]
+    other = default_rng(seed=None)  # expect[seeded-rng]
+    return rng, noise, other

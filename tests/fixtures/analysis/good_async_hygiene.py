@@ -1,0 +1,17 @@
+"""Known-good: the asyncio equivalents of every bad-twin pattern."""
+
+import asyncio
+
+
+async def good_worker(lock, backend, batch):
+    await asyncio.sleep(0.01)
+    acquired = await lock.acquire()
+    result = await asyncio.to_thread(backend.execute_batch, batch)
+    payload = await asyncio.to_thread(_read_dump, "dump.json")
+    return acquired, result, payload
+
+
+def _read_dump(path):
+    # Sync helper: blocking I/O is fine outside async def.
+    with open(path) as f:
+        return f.read()

@@ -1,0 +1,21 @@
+"""Known-good: frozen plan objects are rebuilt, never mutated."""
+
+import dataclasses
+
+
+class PlanSpec:
+    def __init__(self, m):
+        # Constructors may initialize frozen fields.
+        object.__setattr__(self, "m", m)
+
+    def __post_init__(self):
+        object.__setattr__(self, "m", max(self.m, 1))
+
+
+def retarget(spec: PlanSpec, m):
+    return dataclasses.replace(spec, m=m)
+
+
+def degrade(planner, shapes):
+    resolved = planner.resolve(shapes)
+    return dataclasses.replace(resolved, plan=None)

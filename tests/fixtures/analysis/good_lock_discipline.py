@@ -1,0 +1,40 @@
+"""Known-good: the same access patterns as the bad twin, done right."""
+
+import threading
+
+_REG: dict = {}
+_REG_LOCK = threading.Lock()
+
+_A_LOCK = threading.Lock()
+_B_LOCK = threading.Lock()
+
+
+def put_locked(cache, key, value):
+    shard = cache._shard_for(key)
+    with shard.lock:
+        shard.entries[key] = value
+
+
+def total_hits(cache):
+    total = 0
+    for s in cache._shard_list:
+        with s.lock:
+            total += s.hits
+    return total
+
+
+def register_locked(name, value):
+    with _REG_LOCK:
+        _REG[name] = value
+
+
+def forward():
+    with _A_LOCK:
+        with _B_LOCK:
+            pass
+
+
+def also_forward():
+    with _A_LOCK:
+        with _B_LOCK:
+            pass

@@ -1,0 +1,7 @@
+"""Known-good pragmas: justified suppressions that silence real findings."""
+
+import numpy as np
+
+rng = np.random.default_rng()  # pit: allow[seeded-rng] - fixture: entropy is acceptable in this demo
+# pit: allow[seeded-rng] - standalone pragma covers the statement below
+probe = np.random.default_rng()

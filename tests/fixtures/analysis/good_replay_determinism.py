@@ -1,0 +1,19 @@
+"""Known-good: the decision core as a pure function of injected state."""
+
+
+class SchedulingPolicy:
+    def __init__(self, clock, rng):
+        self.clock = clock
+        self.rng = rng
+
+    def admit(self, queue):
+        now = self.clock.now()
+        jitter = float(self.rng.uniform(0.0, 1.0))
+        for replica in sorted({1, 2, 3}):
+            now += replica
+        return self._tiebreak(queue, now + jitter)
+
+    def _tiebreak(self, queue, score):
+        for item in sorted(set(queue)):
+            score += item
+        return score

@@ -1,0 +1,10 @@
+"""Known-good: every generator is constructed from an explicit seed."""
+
+import numpy as np
+
+
+def sample_plans(seed, count):
+    rng = np.random.default_rng(seed)
+    salted = np.random.default_rng(seed ^ 0x9E3779B9)
+    named = np.random.default_rng(seed=1234)
+    return rng.normal(size=count), salted.integers(0, 4), named

@@ -15,19 +15,44 @@ The concurrency contract the live serving front end rests on:
 
 import json
 import threading
+from pathlib import Path
 
 import pytest
 
+from repro.analysis import load_corpus, static_lock_order
+from repro.analysis.runtime_checks import (
+    debug_locks_installed,
+    verify_against_static,
+)
 from repro.core import PlanCache, Planner, TileDB
 from repro.core.plan import encode_value
 from repro.core.selection import DEFAULT_PLAN_CACHE_SHARDS
 from repro.hw import A100, V100
 from repro.sparsity import granular_mask
 
+_SRC = Path(__file__).resolve().parents[1] / "src"
+
 
 @pytest.fixture(scope="module")
 def tiledb():
     return TileDB.shared(V100, "float32")
+
+
+@pytest.fixture(scope="module")
+def static_lock_edges():
+    return static_lock_order(
+        load_corpus([str(_SRC)], root=str(_SRC.parent))
+    )["edges"]
+
+
+@pytest.fixture
+def lock_order_audit(static_lock_edges):
+    """Run the test with audited locks; afterwards, every acquisition-order
+    edge the threads actually produced must be predicted by the static
+    lock-order graph (pitlint's lock-discipline rule)."""
+    with debug_locks_installed():
+        yield
+        assert verify_against_static(static_lock_edges) == []
 
 
 def keys_on_distinct_shards(cache, count=2):
@@ -46,6 +71,7 @@ def keys_on_distinct_shards(cache, count=2):
     return picked
 
 
+@pytest.mark.usefixtures("lock_order_audit")
 class TestShardContention:
     def test_cold_search_does_not_block_other_shards(self):
         """A get on shard B completes while a cold search holds shard A."""
@@ -183,6 +209,7 @@ class TestShardContention:
         assert cache.evictions >= 32 - (4 + 8 - 1)
 
 
+@pytest.mark.usefixtures("lock_order_audit")
 class TestSharedRegistryThreadSafety:
     def test_hammered_shared_registry_yields_one_instance(self):
         PlanCache.clear_shared()
