@@ -14,6 +14,8 @@ catalog with examples):
   and nothing uses numpy's hidden global RNG state.
 * ``frozen-spec-purity`` — no attribute mutation on ``PlanSpec`` /
   ``KernelChoice`` / ``ResolvedPlan`` instances outside construction.
+* ``bounded-retry`` — retry loops carry a static attempt bound, and
+  fault-injection randomness always takes an explicit seed.
 * ``pragma-justification`` — every suppression pragma carries a reason
   and silences something real.
 """
@@ -21,6 +23,7 @@ catalog with examples):
 from __future__ import annotations
 
 import ast
+import re
 from typing import Optional
 
 from .astutil import (
@@ -652,6 +655,131 @@ def check_frozen_spec_purity(corpus):
                         and node.args[0].id in frozen
                     ):
                         flag(node, node.args[0].id, frozen[node.args[0].id])
+    return findings
+
+
+# ----------------------------------------------------------------------
+# bounded-retry
+# ----------------------------------------------------------------------
+#: A loop counter name that smells like a retry/attempt count.
+_RETRY_COUNTER = re.compile(r"(?i)(retr|attempt)")
+#: Constructors whose randomness must be pinned by an explicit seed: an
+#: entropy-seeded fault schedule makes every chaos run unreproducible.
+_FAULT_RNG_CONSTRUCTORS = frozenset({"FaultSpec", "FaultInjector"})
+
+
+def _incremented_names(loop: ast.While) -> set:
+    """Names the loop body grows: ``x += ...`` or ``x = x <op> ...``."""
+    names = set()
+    for node in ast.walk(loop):
+        if isinstance(node, ast.AugAssign) and isinstance(
+            node.target, ast.Name
+        ):
+            names.add(node.target.id)
+        elif isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if isinstance(target, ast.Name) and isinstance(
+                node.value, ast.BinOp
+            ):
+                for sub in ast.walk(node.value):
+                    if isinstance(sub, ast.Name) and sub.id == target.id:
+                        names.add(target.id)
+                        break
+    return names
+
+
+def _compared_names(loop: ast.While) -> set:
+    """Names the loop body ever compares (a bound check, however spelled)."""
+    names = set()
+    for node in ast.walk(loop):
+        if isinstance(node, ast.Compare):
+            for sub in ast.walk(node):
+                if isinstance(sub, ast.Name):
+                    names.add(sub.id)
+    return names
+
+
+@rule(
+    "bounded-retry",
+    "Retry loops carry a static attempt bound; fault-injection RNG "
+    "always takes an explicit seed",
+)
+def check_bounded_retry(corpus):
+    """Two failure-handling invariants the resilience layer rests on.
+
+    A ``while True`` loop that counts retries/attempts without ever
+    comparing the counter can retry forever — a failed replica then wedges
+    the front end instead of surfacing a terminal report.  And a
+    :class:`~repro.runtime.resilience.FaultSpec` (or injector) built
+    without an explicit seed draws a different fault schedule every run,
+    which breaks the replay-equivalence gate the chaos tests rely on.
+    """
+    findings = []
+    for module in corpus:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.While):
+                test = node.test
+                if not (
+                    isinstance(test, ast.Constant) and test.value is True
+                ):
+                    continue
+                counters = {
+                    name
+                    for name in _incremented_names(node)
+                    if _RETRY_COUNTER.search(name)
+                }
+                unbounded = sorted(counters - _compared_names(node))
+                if unbounded:
+                    findings.append(
+                        Finding(
+                            rule="bounded-retry",
+                            path=module.path,
+                            line=node.lineno,
+                            message=(
+                                f"`while True` increments retry counter "
+                                f"`{unbounded[0]}` without ever comparing "
+                                f"it: the retry chain has no static bound"
+                            ),
+                            hint=(
+                                "loop `for attempt in "
+                                "range(max_retries + 1)` or guard with "
+                                "`while attempt <= max_retries`"
+                            ),
+                        )
+                    )
+            elif isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if name is None:
+                    continue
+                tail = name.rsplit(".", 1)[-1]
+                if tail not in _FAULT_RNG_CONSTRUCTORS:
+                    continue
+                seed_kw = next(
+                    (kw for kw in node.keywords if kw.arg == "seed"), None
+                )
+                unseeded = not node.args and not node.keywords
+                explicit_none = (
+                    seed_kw is not None
+                    and isinstance(seed_kw.value, ast.Constant)
+                    and seed_kw.value.value is None
+                )
+                if unseeded or explicit_none:
+                    findings.append(
+                        Finding(
+                            rule="bounded-retry",
+                            path=module.path,
+                            line=node.lineno,
+                            message=(
+                                f"`{tail}` without an explicit seed: the "
+                                f"fault schedule changes every run and "
+                                f"chaos results are not reproducible"
+                            ),
+                            hint=(
+                                "pass the seed first: FaultSpec(seed, ...) "
+                                "/ FaultInjector(spec)"
+                            ),
+                        )
+                    )
     return findings
 
 

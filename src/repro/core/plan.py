@@ -233,6 +233,11 @@ class ResolvedPlan:
     #: for the same sparsity), and a heterogeneous serving fleet resolves
     #: one plan per device class, so provenance names the class.
     device: str = ""
+    #: True when Algorithm 1's search failed and the plan is the serving
+    #: engine's conservative dense fallback (graceful degradation).
+    #: Degraded plans are never cached, so a later resolve retries the
+    #: search instead of pinning the fallback.
+    degraded: bool = False
 
     @property
     def cold(self) -> bool:

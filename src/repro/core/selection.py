@@ -376,6 +376,18 @@ class _PlanCacheShard:
         self.inflight: dict = {}
 
 
+class PlanCacheLoadError(ValueError):
+    """A plan-cache dump could not be parsed or decoded.
+
+    Raised by :meth:`PlanCache.load` for *corruption* — truncated or
+    invalid JSON, missing header fields, undecodable entries — as distinct
+    from the plain :class:`ValueError` it raises for a well-formed dump
+    that is merely incompatible (unknown format version, foreign TileDB
+    identity).  Subclasses ``ValueError`` so existing callers that guard
+    ``load`` with one ``except`` keep working.
+    """
+
+
 class PlanCache:
     """Sharded, thread-safe LRU memo of kernel plans.
 
@@ -674,6 +686,7 @@ class PlanCache:
         ``{"entries": saved, "skipped": skipped, "aged_out": aged_out}``.
         """
         import json
+        import os
 
         from .plan import encode_value
 
@@ -717,8 +730,20 @@ class PlanCache:
             "tiledb_keys": [encode_value(k) for k in class_keys],
             "entries": entries,
         }
-        with open(path, "w") as f:
-            json.dump(payload, f)
+        # Write-then-rename so a crash (or a json.dump failure) mid-save
+        # never leaves a truncated dump where a good one stood: readers see
+        # either the old complete file or the new complete file.
+        tmp_path = f"{path}.tmp"
+        try:
+            with open(tmp_path, "w") as f:
+                json.dump(payload, f)
+        except BaseException:
+            try:
+                os.remove(tmp_path)
+            except OSError:
+                pass
+            raise
+        os.replace(tmp_path, path)
         return {"entries": len(entries), "skipped": skipped, "aged_out": aged_out}
 
     @classmethod
@@ -749,25 +774,48 @@ class PlanCache:
 
         from .plan import decode_value
 
-        with open(path) as f:
-            payload = json.load(f)
+        try:
+            with open(path) as f:
+                payload = json.load(f)
+        except json.JSONDecodeError as exc:
+            raise PlanCacheLoadError(
+                f"plan-cache dump {path} is not valid JSON "
+                f"(truncated or corrupt dump?): {exc}"
+            ) from exc
+        if not isinstance(payload, dict):
+            raise PlanCacheLoadError(
+                f"plan-cache dump {path} must be a JSON object, "
+                f"got {type(payload).__name__}"
+            )
         fmt = payload.get("format")
         if fmt not in (1, cls.DUMP_FORMAT):
             raise ValueError(
                 f"unsupported plan-cache dump format {fmt!r} "
                 f"(this build reads formats 1 and {cls.DUMP_FORMAT})"
             )
-        dump_key = decode_value(payload["tiledb_key"])
+        try:
+            dump_key = decode_value(payload["tiledb_key"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise PlanCacheLoadError(
+                f"plan-cache dump {path} has a missing or undecodable "
+                f"tiledb_key header: {exc!r}"
+            ) from exc
         if expected_tiledb_key is not None and dump_key != tuple(expected_tiledb_key):
             raise ValueError(
                 f"plan-cache dump was built against TileDB {dump_key!r}, "
                 f"which does not match the expected {tuple(expected_tiledb_key)!r}; "
                 f"plans selected over different tiles are not transferable"
             )
-        dump_keys = [
-            decode_value(k)
-            for k in payload.get("tiledb_keys", [payload["tiledb_key"]])
-        ]
+        try:
+            dump_keys = [
+                decode_value(k)
+                for k in payload.get("tiledb_keys", [payload["tiledb_key"]])
+            ]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise PlanCacheLoadError(
+                f"plan-cache dump {path} has an undecodable tiledb_keys "
+                f"header: {exc!r}"
+            ) from exc
         if expected_tiledb_keys is not None:
             allowed = {tuple(k) for k in expected_tiledb_keys}
             foreign = [k for k in dump_keys if tuple(k) not in allowed]
@@ -780,17 +828,30 @@ class PlanCache:
                 )
         if shards is None:
             shards = payload.get("shards", DEFAULT_PLAN_CACHE_SHARDS)
-        cache = cls(payload["capacity"], quantum=payload["quantum"], shards=shards)
+        try:
+            capacity = payload["capacity"]
+            quantum = payload["quantum"]
+            raw_entries = payload["entries"]
+        except KeyError as exc:
+            raise PlanCacheLoadError(
+                f"plan-cache dump {path} is missing required header "
+                f"field {exc}"
+            ) from exc
+        cache = cls(capacity, quantum=quantum, shards=shards)
         # Entries were dumped oldest-first, so inserting in file order
         # rebuilds the global recency order exactly.
-        for entry in payload["entries"]:
-            key = decode_value(entry["key"])
+        for position, entry in enumerate(raw_entries):
+            try:
+                key = decode_value(entry["key"])
+                value = decode_value(entry["value"])
+            except (KeyError, TypeError, ValueError) as exc:
+                raise PlanCacheLoadError(
+                    f"plan-cache dump {path} entry {position} is "
+                    f"undecodable: {exc!r}"
+                ) from exc
             shard = cache._shard_for(key)
             with shard.lock:
-                shard.entries[key] = [
-                    decode_value(entry["value"]),
-                    next(cache._stamp),
-                ]
+                shard.entries[key] = [value, next(cache._stamp)]
         return cache
 
     @property

@@ -218,6 +218,26 @@ def predicted_finish_us(
     return max(close_us, free_at_us) + est_exec_us
 
 
+def health_adjusted_finish_us(
+    close_us: float,
+    free_at_us: float,
+    est_exec_us: float,
+    health_penalty_us: float = 0.0,
+) -> float:
+    """:func:`predicted_finish_us` plus a replica-health placement penalty.
+
+    The resilience layer's placement objective: a suspect replica's finite
+    penalty makes healthy peers win ties without excluding it, while a
+    quarantined or dead replica's ``inf`` penalty excludes it whenever any
+    alternative exists.  A zero penalty reduces exactly to
+    :func:`predicted_finish_us`, so health-aware and legacy placement agree
+    bit-for-bit on an all-healthy fleet.
+    """
+    if health_penalty_us < 0:
+        raise ValueError("health_penalty_us must be >= 0")
+    return predicted_finish_us(close_us, free_at_us, est_exec_us) + health_penalty_us
+
+
 def elementwise_time_us(
     num_elems: int,
     dtype: str,

@@ -16,6 +16,16 @@ from .frontend import (
     serve_workloads,
 )
 from .report import format_speedups, format_table
+from .resilience import (
+    FaultInjector,
+    FaultSpec,
+    HealthTracker,
+    InjectedFault,
+    ReplicaDownFault,
+    ResilienceConfig,
+    TransientExecFault,
+    WorkerCrashFault,
+)
 from .scheduler import ContinuousScheduler, SchedulingPolicy
 from .serving import (
     BatchReport,
@@ -44,16 +54,24 @@ __all__ = [
     "BatchReport",
     "ContinuousScheduler",
     "DeviceClass",
+    "FaultInjector",
+    "FaultSpec",
+    "HealthTracker",
     "InferenceRequest",
+    "InjectedFault",
     "RealClock",
+    "ReplicaDownFault",
     "ReplicaStats",
     "RequestReport",
+    "ResilienceConfig",
     "RunReport",
     "SchedulingPolicy",
     "ServingEngine",
     "ServingReport",
     "SparseTrainingReport",
     "SpeculativeSelection",
+    "TransientExecFault",
+    "WorkerCrashFault",
     "TRAINING_STATE_MULTIPLIER",
     "VirtualClock",
     "decision_trace",

@@ -43,6 +43,7 @@ import heapq
 import itertools
 from typing import Optional
 
+from .resilience import InjectedFault, resolve_failure
 from .scheduler import SchedulingPolicy, _OpenBatch
 from .serving import (
     InferenceRequest,
@@ -54,13 +55,14 @@ from .serving import (
 class VirtualClock:
     """A deterministic microsecond clock driven explicitly by its owner.
 
-    Timers are a heap of ``(when_us, seq, callback, args)``; ties fire in
-    scheduling order, which reproduces the simulated event heap's
-    arrival-before-deadline ordering as long as arrivals are scheduled
-    before the run starts (deadlines are always scheduled mid-run, so they
-    carry larger sequence numbers).  :meth:`fire_next` advances ``now`` to
-    the timer's due time *before* invoking the callback, so code reading
-    :meth:`now_us` inside a callback observes exactly the event time.
+    Timers are a heap of ``(when_us, priority, seq, callback, args)``; ties
+    fire in priority order, then scheduling order.  Priorities mirror the
+    simulated event heap's kinds (arrival=0 < deadline=1 < retry=2), so an
+    arrival at time ``t`` beats a window deadline at the same ``t`` and
+    both beat a backoff'd retry — regardless of when each timer was
+    scheduled.  :meth:`fire_next` advances ``now`` to the timer's due time
+    *before* invoking the callback, so code reading :meth:`now_us` inside a
+    callback observes exactly the event time.
     """
 
     def __init__(self, start_us: float = 0.0):
@@ -71,15 +73,18 @@ class VirtualClock:
     def now_us(self) -> float:
         return self._now_us
 
-    def call_at(self, when_us: float, callback, *args) -> None:
-        heapq.heappush(self._timers, (when_us, next(self._seq), callback, args))
+    def call_at(self, when_us: float, callback, *args,
+                priority: int = 0) -> None:
+        heapq.heappush(
+            self._timers, (when_us, priority, next(self._seq), callback, args)
+        )
 
     def pending(self) -> bool:
         return bool(self._timers)
 
     def fire_next(self) -> float:
         """Fire the earliest timer; returns the time it fired at."""
-        when_us, _, callback, args = heapq.heappop(self._timers)
+        when_us, _, _, callback, args = heapq.heappop(self._timers)
         self._now_us = max(self._now_us, when_us)
         callback(*args)
         return self._now_us
@@ -109,7 +114,11 @@ class RealClock:
         loop = self._ensure_loop()
         return (loop.time() - self._base) * 1e6
 
-    def call_at(self, when_us: float, callback, *args) -> None:
+    def call_at(self, when_us: float, callback, *args,
+                priority: int = 0) -> None:
+        # ``priority`` is the virtual clock's deterministic tie-breaker;
+        # wall time has no simultaneous timers to break ties between.
+        del priority
         loop = self._ensure_loop()
         self._handles.append(
             loop.call_at(self._base + when_us / 1e6, callback, *args)
@@ -189,6 +198,8 @@ class AsyncServingFrontend:
         self._worker_backends: dict = {}
         self._completion = None  # asyncio.Event, created at start()
         self._started = False
+        self._closing = False
+        self._pending_retries = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -215,13 +226,30 @@ class AsyncServingFrontend:
             )
 
     async def drain(self) -> None:
-        """Close every open batch and wait for in-flight work to finish."""
+        """Close every open batch and wait for in-flight work to finish.
+
+        A failed batch may have a retry timer pending; draining waits for
+        those chains to land too (each chain is statically bounded by
+        ``max_retries``, so this terminates).
+        """
         self.finish(self.clock.now_us())
         for queue in self._queues:
             await queue.join()
+        while self._pending_retries > 0:
+            await asyncio.sleep(0.001)
+            for queue in self._queues:
+                await queue.join()
 
     async def stop(self) -> None:
-        """Drain, then shut the workers down."""
+        """Drain, then shut the workers down.
+
+        Submitters blocked on backpressure are released first (their
+        futures resolve to refused reports) so a shutdown never strands a
+        caller awaiting capacity that will no longer free up.
+        """
+        self._closing = True
+        if self._completion is not None:
+            self._completion.set()
         await self.drain()
         for queue in self._queues:
             queue.put_nowait(_STOP)
@@ -234,27 +262,61 @@ class AsyncServingFrontend:
     # ------------------------------------------------------------------
     # Admission
     # ------------------------------------------------------------------
-    async def submit(self, workload, *, arrival_us: Optional[float] = None):
+    async def submit(
+        self,
+        workload,
+        *,
+        arrival_us: Optional[float] = None,
+        deadline_us: Optional[float] = None,
+    ):
         """Admit one workload; returns a future of its RequestReport.
 
         The future resolves when the request's batch completes — or
         immediately with a ``shed`` report when the front end is over its
         queue-depth bound in shed mode.  In block mode the *call* awaits
         capacity instead (backpressure propagates to the submitter).
+        ``deadline_us`` is the request's completion budget relative to its
+        arrival (see :class:`~repro.runtime.resilience.ResilienceConfig`).
         """
         if not self._started:
             await self.start()
         if self.max_queue_depth is not None and self.overload == "block":
-            while self._inflight >= self.max_queue_depth:
+            while (
+                not self._closing and self._inflight >= self.max_queue_depth
+            ):
                 self._completion.clear()
                 await self._completion.wait()
+        if self._closing:
+            return self._refuse(workload, "shutdown: front end is stopping")
         now = arrival_us if arrival_us is not None else self.clock.now_us()
         request = InferenceRequest(
             request_id=next(self._request_ids),
             workload=workload,
             arrival_us=now,
+            deadline_us=deadline_us,
         )
         return self.ingest(request)
+
+    def _refuse(self, workload, reason: str):
+        """Resolve a never-admitted workload with a shed-style report."""
+        now = self.clock.now_us()
+        refused = RequestReport(
+            request_id=next(self._request_ids),
+            batch_id=-1,
+            tokens=workload.total_tokens,
+            arrival_us=now,
+            start_us=now,
+            queue_us=0.0,
+            exec_us=0.0,
+            selection_us=0.0,
+            ok=False,
+            error=reason,
+            shed=True,
+        )
+        self._report.requests.append(refused)
+        future = _new_future()
+        future.set_result(refused)
+        return future
 
     def ingest(self, request: InferenceRequest):
         """Synchronous admission core (also the virtual-replay entry).
@@ -295,7 +357,9 @@ class AsyncServingFrontend:
         return future
 
     def _schedule_deadline(self, deadline_us, signature, token) -> None:
-        self.clock.call_at(deadline_us, self._on_deadline, signature, token)
+        self.clock.call_at(
+            deadline_us, self._on_deadline, signature, token, priority=1
+        )
 
     def _on_deadline(self, signature, token) -> None:
         batch = self.policy.close_due(signature, token)
@@ -313,10 +377,16 @@ class AsyncServingFrontend:
     def _dispatch(self, batch: _OpenBatch, close_us: float) -> None:
         """Place a closed batch and route it to its replica's worker."""
         placement = self.policy.place(batch, close_us)
-        batch_id = next(self._batch_ids)
-        item = (batch, placement, batch_id)
+        self._route((batch, placement, next(self._batch_ids), 0))
+
+    def _route(self, item) -> None:
+        """Send one placed attempt to execution (inline or its worker)."""
+        batch, placement, batch_id, attempt = item
         if self.inline_execution:
-            self._account(item, *self._execute(item))
+            try:
+                self._account(item, *self._execute(item))
+            except InjectedFault as exc:
+                self._on_failure(item, exc)
         else:
             # Reserve the replica up to the cost model's predicted finish:
             # under a burst, several batches dispatch before any completes,
@@ -336,7 +406,7 @@ class AsyncServingFrontend:
 
     def _execute(self, item) -> tuple:
         """Run one placed batch through the engine (worker-thread safe)."""
-        batch, placement, batch_id = item
+        batch, placement, batch_id, attempt = item
         backend = self._worker_backends.get(placement.replica.replica_id)
         return self.engine.execute_batch(
             batch.requests,
@@ -347,6 +417,7 @@ class AsyncServingFrontend:
             device=placement.replica.device,
             workload=placement.workload,
             backend=backend,
+            attempt=attempt,
         )
 
     def _account(self, item, batch_report, request_reports) -> None:
@@ -356,9 +427,9 @@ class AsyncServingFrontend:
         coroutine after ``to_thread`` returns), so policy state needs no
         locking.
         """
-        batch, placement, _ = item
+        batch, placement, _, _ = item
         batch_report.overlap_saved_us = placement.saved_us
-        self.policy.account(placement, batch_report)
+        self.policy.account(placement, batch_report, signature=batch.signature)
         self._report.batches.append(batch_report)
         self._report.requests.extend(request_reports)
         for request_report in request_reports:
@@ -370,8 +441,14 @@ class AsyncServingFrontend:
             self._completion.set()
 
     def _fail(self, item, exc: BaseException) -> None:
-        """Report a worker failure on every request of the batch."""
-        batch, placement, batch_id = item
+        """Report a terminal worker failure on every request of the batch.
+
+        The no-resilience path: without a
+        :class:`~repro.runtime.resilience.ResilienceConfig` on the engine
+        there is no retry budget, so the crash surfaces on every request of
+        the batch — reported, never silently dropped.
+        """
+        batch, placement, batch_id, _ = item
         for request in batch.requests:
             request_report = RequestReport(
                 request_id=request.request_id,
@@ -393,6 +470,65 @@ class AsyncServingFrontend:
         if self._completion is not None:
             self._completion.set()
 
+    def _on_failure(self, item, exc: BaseException) -> None:
+        """Resolve a failed attempt: report, retry or give up.
+
+        Shares :func:`~repro.runtime.resilience.resolve_failure` with the
+        simulated scheduler, so the split into terminal reports and a
+        backoff'd retry — and the retry's due time — is identical across
+        both drivers.  The retry timer carries priority 2, mirroring the
+        simulated event heap's retry kind.
+        """
+        batch, placement, batch_id, attempt = item
+        outcome = resolve_failure(
+            self.engine.resilience,
+            self.policy.health,
+            batch.requests,
+            placement,
+            batch_id,
+            attempt,
+            exc,
+        )
+        self.policy.account_failure(placement, outcome.detect_us)
+        terminal = outcome.failed_reports + outcome.expired_reports
+        self._report.requests.extend(terminal)
+        for request_report in terminal:
+            future = self._futures.pop(request_report.request_id, None)
+            if future is not None and not future.done():
+                future.set_result(request_report)
+        self._inflight -= len(terminal)
+        if terminal and self._completion is not None:
+            self._completion.set()
+        if outcome.retry_requests:
+            self._report.retries += 1
+            retry = _OpenBatch(
+                signature=batch.signature,
+                opened_us=batch.opened_us,
+                token=batch.token,
+                requests=outcome.retry_requests,
+            )
+            self._pending_retries += 1
+            self.clock.call_at(
+                outcome.retry_at_us,
+                self._redispatch,
+                retry,
+                batch_id,
+                attempt + 1,
+                (outcome.failed_replica,),
+                priority=2,
+            )
+
+    def _redispatch(self, batch: _OpenBatch, batch_id: int, attempt: int,
+                    exclude: tuple) -> None:
+        """Re-place a retried batch (keeping its id) on a healthy replica."""
+        self._pending_retries -= 1
+        placement = self.policy.place(
+            batch, self.clock.now_us(), exclude=exclude
+        )
+        if placement.replica.replica_id not in exclude:
+            self._report.failovers += 1
+        self._route((batch, placement, batch_id, attempt))
+
     async def _worker(self, replica_id: int, queue: asyncio.Queue) -> None:
         """One replica's execution loop: pull, execute off-loop, account."""
         while True:
@@ -405,8 +541,11 @@ class AsyncServingFrontend:
                     self._execute, item
                 )
                 self._account(item, batch_report, request_reports)
-            except Exception as exc:  # pragma: no cover - defensive
-                self._fail(item, exc)
+            except Exception as exc:
+                if self.engine.resilience is not None:
+                    self._on_failure(item, exc)
+                else:
+                    self._fail(item, exc)
             finally:
                 queue.task_done()
 
@@ -430,6 +569,8 @@ class AsyncServingFrontend:
         report.makespan_us = last_end - first_start
         report.replica_stats = self.policy.replica_stats(report.makespan_us)
         report.plan_cache_stats = self.engine.plan_cache.stats()
+        if self.policy.health is not None:
+            report.health_timeline = self.policy.health.timeline()
         return report
 
 
@@ -486,6 +627,10 @@ def replay_trace(
     while clock.pending():
         last_event_us = max(last_event_us, clock.fire_next())
     frontend.finish(last_event_us)
+    # Flush-time dispatches may fail and schedule backoff'd retries; keep
+    # firing until the chains land (statically bounded by max_retries).
+    while clock.pending():
+        clock.fire_next()
     return frontend.report()
 
 
@@ -505,6 +650,7 @@ def decision_trace(report: ServingReport, *, include_timing: bool = False) -> li
             "batch_id": batch.batch_id,
             "requests": list(batch.request_ids),
             "replica": batch.replica_id,
+            "attempt": batch.attempt,
             "tokens": batch.tokens,
             "padded_tokens": batch.padded_tokens,
             "cache_hits": batch.cache_hits,

@@ -73,7 +73,8 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
-from ..hw.costmodel import predicted_finish_us
+from ..hw.costmodel import health_adjusted_finish_us, predicted_finish_us
+from .resilience import HealthTracker, InjectedFault, resolve_failure
 from .serving import (
     ReplicaStats,
     ServingReport,
@@ -83,9 +84,13 @@ from .serving import (
 
 #: Event kinds, ordered so that an arrival at time ``t`` is processed before
 #: a window deadline at the same ``t`` — a request arriving exactly on the
-#: deadline still rides the batch it was aimed at.
+#: deadline still rides the batch it was aimed at — and both before a
+#: backoff'd retry at the same ``t`` (retries are always scheduled after the
+#: deadline of any batch open at that time, so kind order equals scheduling
+#: order; the virtual clock mirrors this with timer priorities).
 _ARRIVE = 0
 _DEADLINE = 1
+_RETRY = 2
 
 
 @dataclass
@@ -172,6 +177,19 @@ class SchedulingPolicy:
         ]
         self._open: dict = {}
         self._tokens = itertools.count()
+        #: Fault-tolerance policy and per-replica breaker state (None when
+        #: the engine runs without a resilience config — every placement
+        #: decision is then bit-identical to the legacy path).
+        self.resilience = getattr(engine, "resilience", None)
+        self.health = (
+            HealthTracker(
+                replicas,
+                self.resilience,
+                injector=getattr(engine, "fault_injector", None),
+            )
+            if self.resilience is not None
+            else None
+        )
 
     @staticmethod
     def validate(replicas, batch_window_us, placement) -> None:
@@ -284,8 +302,40 @@ class SchedulingPolicy:
     # ------------------------------------------------------------------
     # Placement and accounting
     # ------------------------------------------------------------------
+    def _placeable_replicas(self, now_us: float, exclude: tuple) -> list:
+        """Replicas eligible for a placement at ``now_us``.
+
+        Health-aware: dead/quarantined replicas (``inf`` penalty) are out
+        while any alternative exists, and a retry prefers replicas other
+        than the one that just failed (``exclude``).  The preferences relax
+        in order rather than failing: an all-excluded fleet falls back to
+        whatever is open, and an all-down fleet places anyway (the attempt
+        fails fast and retries — placement must never deadlock).
+        """
+        if self.health is None:
+            if exclude:
+                kept = [
+                    r for r in self.replicas if r.replica_id not in exclude
+                ]
+                return kept if kept else list(self.replicas)
+            return self.replicas
+        open_replicas = [
+            r
+            for r in self.replicas
+            if self.health.placement_penalty_us(r.replica_id, now_us)
+            != float("inf")
+        ]
+        preferred = [
+            r for r in open_replicas if r.replica_id not in exclude
+        ]
+        if preferred:
+            return preferred
+        if open_replicas:
+            return open_replicas
+        return list(self.replicas)
+
     def select_replica(self, signature, workload, close_us: float,
-                       memoize: bool = True) -> _Replica:
+                       memoize: bool = True, exclude: tuple = ()) -> _Replica:
         """Pick the replica for a ``signature`` batch closing at ``close_us``.
 
         Cost-aware placement minimizes the predicted finish time
@@ -300,7 +350,7 @@ class SchedulingPolicy:
         ``(free_at_us, replica_id)`` order and placement is bit-identical
         to it.
         """
-        replicas = self.replicas
+        replicas = self._placeable_replicas(close_us, exclude)
         if self.placement == "least-loaded" or len(
             {r.device.spec for r in replicas}
         ) == 1:
@@ -308,8 +358,23 @@ class SchedulingPolicy:
             # estimate is a constant, the predicted-finish ordering
             # provably collapses to (free_at, id), and pricing could never
             # change the decision — so homogeneous lineups skip the
-            # simulated pricing runs entirely.
-            return min(replicas, key=lambda r: (r.free_at_us, r.replica_id))
+            # simulated pricing runs entirely.  A finite health penalty
+            # (suspect/probing replicas) still reorders: healthy peers win.
+            if self.health is None:
+                return min(
+                    replicas, key=lambda r: (r.free_at_us, r.replica_id)
+                )
+            return min(
+                replicas,
+                key=lambda r: (
+                    r.free_at_us
+                    + self.health.placement_penalty_us(
+                        r.replica_id, close_us
+                    ),
+                    r.free_at_us,
+                    r.replica_id,
+                ),
+            )
         # Price once per distinct device class, not per replica: a cold
         # (unmemoized) estimate is a full simulated model run, and replicas
         # of one class share it by construction.
@@ -319,21 +384,45 @@ class SchedulingPolicy:
                 est_by_class[r.device.spec] = self.engine.estimate_exec_us(
                     signature, workload, r.device, memoize=memoize
                 )
+        if self.health is None:
+            return min(
+                replicas,
+                key=lambda r: (
+                    predicted_finish_us(
+                        close_us, r.free_at_us, est_by_class[r.device.spec]
+                    ),
+                    r.free_at_us,
+                    r.replica_id,
+                ),
+            )
         return min(
             replicas,
             key=lambda r: (
-                predicted_finish_us(
-                    close_us, r.free_at_us, est_by_class[r.device.spec]
+                health_adjusted_finish_us(
+                    close_us,
+                    r.free_at_us,
+                    est_by_class[r.device.spec],
+                    self.health.placement_penalty_us(r.replica_id, close_us),
                 ),
                 r.free_at_us,
                 r.replica_id,
             ),
         )
 
-    def place(self, batch: _OpenBatch, close_us: float) -> Placement:
-        """Decide where and when a closed batch executes."""
+    def place(self, batch: _OpenBatch, close_us: float,
+              exclude: tuple = ()) -> Placement:
+        """Decide where and when a closed batch executes.
+
+        ``exclude`` names replicas a retry should avoid — the one that just
+        failed the batch (failover); preferences relax rather than fail when
+        nothing else is available.
+        """
         workload = merge_workloads([r.workload for r in batch.requests])
-        replica = self.select_replica(batch.signature, workload, close_us)
+        replica = self.select_replica(
+            batch.signature, workload, close_us, exclude=exclude
+        )
+        if self.health is not None:
+            self.health.on_dispatch(replica.replica_id, close_us)
         ready_us = max(close_us, replica.free_at_us)
         start = ready_us
         saved_us = 0.0
@@ -356,7 +445,8 @@ class SchedulingPolicy:
             replica=replica, workload=workload, start_us=start, saved_us=saved_us
         )
 
-    def account(self, placement: Placement, batch_report) -> None:
+    def account(self, placement: Placement, batch_report,
+                signature=None) -> None:
         """Fold one executed batch back into its replica's schedule.
 
         ``free_at`` is max-assigned: in the simulated loop the batch's
@@ -366,6 +456,12 @@ class SchedulingPolicy:
         the replica further ahead (cost-model predicted finishes of batches
         still in its worker queue), and accounting one earlier batch must
         not roll those reservations back.
+
+        With health tracking enabled (and ``signature`` provided), the
+        batch's observed compute time is compared against its memoized
+        placement estimate: far-over-estimate batches mark the replica
+        suspect (straggler detection); everything else records a success,
+        closing the breaker.
         """
         replica = placement.replica
         replica.free_at_us = max(
@@ -375,6 +471,34 @@ class SchedulingPolicy:
         replica.batches += 1
         replica.tokens += batch_report.tokens
         replica.overlap_saved_us += placement.saved_us
+        if self.health is None:
+            return
+        finish_us = placement.start_us + batch_report.exec_us
+        estimate = None
+        if signature is not None:
+            estimate = self.engine.estimate_exec_us(
+                signature, placement.workload, replica.device
+            )
+        if (
+            estimate is not None
+            and 0.0 < estimate < float("inf")
+            and batch_report.compute_us
+            > self.resilience.straggler_threshold * estimate
+        ):
+            self.health.on_straggler(replica.replica_id, finish_us)
+        else:
+            self.health.on_success(replica.replica_id, finish_us)
+
+    def account_failure(self, placement: Placement, detect_us: float) -> None:
+        """A failed attempt occupies its replica until failure detection.
+
+        The breaker transition itself happens in
+        :func:`~repro.runtime.resilience.resolve_failure`; this only keeps
+        the replica's schedule honest (failed work is not ``busy_us`` — it
+        produced nothing).
+        """
+        replica = placement.replica
+        replica.free_at_us = max(replica.free_at_us, detect_us)
 
     def replica_stats(self, makespan_us: float) -> list:
         """Per-replica utilization summaries for a finished run."""
@@ -444,34 +568,63 @@ class ContinuousScheduler:
             placement=self.placement,
         )
         seq = itertools.count()
+        # Batch ids are assigned at first dispatch from an explicit counter
+        # (not `len(report.batches)`): a failed attempt appends no batch
+        # report, yet its id must stay claimed so retried batches keep the
+        # same ids the live front end's dispatch-time counter assigns.
+        batch_ids = itertools.count()
         events: list = []
         for r in sorted(requests, key=lambda r: (r.arrival_us, r.request_id)):
             heapq.heappush(events, (r.arrival_us, _ARRIVE, next(seq), r))
 
         def dispatch(batch, close_us):
-            self._dispatch(policy, batch, close_us, report)
+            placement = policy.place(batch, close_us)
+            self._attempt(
+                policy, batch, placement, next(batch_ids), report, 0,
+                schedule_retry,
+            )
 
         def schedule_deadline(deadline_us, signature, token):
             heapq.heappush(
                 events, (deadline_us, _DEADLINE, next(seq), (signature, token))
             )
 
-        last_event_us = 0.0
-        while events:
-            now, kind, _, payload = heapq.heappop(events)
-            last_event_us = max(last_event_us, now)
-            if kind == _ARRIVE:
-                policy.admit(payload, now, dispatch, schedule_deadline)
-            else:
-                batch = policy.close_due(*payload)
-                if batch is not None:
-                    dispatch(batch, now)
+        def schedule_retry(retry_at_us, payload):
+            heapq.heappush(events, (retry_at_us, _RETRY, next(seq), payload))
 
+        last_event_us = 0.0
+
+        def drain_events():
+            nonlocal last_event_us
+            while events:
+                now, kind, _, payload = heapq.heappop(events)
+                last_event_us = max(last_event_us, now)
+                if kind == _ARRIVE:
+                    policy.admit(payload, now, dispatch, schedule_deadline)
+                elif kind == _DEADLINE:
+                    batch = policy.close_due(*payload)
+                    if batch is not None:
+                        dispatch(batch, now)
+                else:
+                    batch, batch_id, attempt, exclude = payload
+                    placement = policy.place(batch, now, exclude=exclude)
+                    if placement.replica.replica_id not in exclude:
+                        report.failovers += 1
+                    self._attempt(
+                        policy, batch, placement, batch_id, report, attempt,
+                        schedule_retry,
+                    )
+
+        drain_events()
         # With no window, batches whose budget never overflowed are still
         # open when the stream ends; close them at the last event (there is
         # nothing left to wait for).
         for batch in policy.flush():
             dispatch(batch, last_event_us)
+        # Flush-time dispatches can fail and schedule retries past the last
+        # arrival; drain again until the chains settle (each is statically
+        # bounded by max_retries).
+        drain_events()
 
         report.requests.sort(key=lambda r: r.request_id)
         first_start = min((b.start_us for b in report.batches), default=0.0)
@@ -481,22 +634,53 @@ class ContinuousScheduler:
         report.makespan_us = last_end - first_start
         report.replica_stats.extend(policy.replica_stats(report.makespan_us))
         report.plan_cache_stats = self.engine.plan_cache.stats()
+        if policy.health is not None:
+            report.health_timeline = policy.health.timeline()
         return report
 
-    def _dispatch(self, policy: SchedulingPolicy, batch: _OpenBatch,
-                  close_us: float, report: ServingReport) -> None:
-        """Place a closed batch (cost-aware) and execute it there."""
-        placement = policy.place(batch, close_us)
-        batch_report, request_reports = self.engine.execute_batch(
-            batch.requests,
-            batch_id=len(report.batches),
-            start_us=placement.start_us,
-            replica_id=placement.replica.replica_id,
-            speculation=batch.speculation,
-            device=placement.replica.device,
-            workload=placement.workload,
-        )
+    def _attempt(self, policy: SchedulingPolicy, batch: _OpenBatch,
+                 placement: Placement, batch_id: int, report: ServingReport,
+                 attempt: int, schedule_retry: Callable) -> None:
+        """Execute one placed attempt of a batch; route failures to retry.
+
+        Injected faults are the only failures the simulated path handles —
+        execution here is the analytical model, so any other exception is a
+        bug and propagates (the live path, whose workers genuinely crash,
+        additionally routes real exceptions through the same logic).
+        """
+        try:
+            batch_report, request_reports = self.engine.execute_batch(
+                batch.requests,
+                batch_id=batch_id,
+                start_us=placement.start_us,
+                replica_id=placement.replica.replica_id,
+                speculation=batch.speculation,
+                device=placement.replica.device,
+                workload=placement.workload,
+                attempt=attempt,
+            )
+        except InjectedFault as exc:
+            outcome = resolve_failure(
+                self.engine.resilience, policy.health, batch.requests,
+                placement, batch_id, attempt, exc,
+            )
+            policy.account_failure(placement, outcome.detect_us)
+            report.requests.extend(outcome.failed_reports)
+            report.requests.extend(outcome.expired_reports)
+            if outcome.retry_requests:
+                report.retries += 1
+                retry = _OpenBatch(
+                    signature=batch.signature,
+                    opened_us=batch.opened_us,
+                    token=batch.token,
+                    requests=outcome.retry_requests,
+                )
+                schedule_retry(
+                    outcome.retry_at_us,
+                    (retry, batch_id, attempt + 1, (outcome.failed_replica,)),
+                )
+            return
         batch_report.overlap_saved_us = placement.saved_us
-        policy.account(placement, batch_report)
+        policy.account(placement, batch_report, signature=batch.signature)
         report.batches.append(batch_report)
         report.requests.extend(request_reports)

@@ -22,14 +22,15 @@ aggregate throughput.  Two clocks coexist deliberately:
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass, field
 from typing import Optional
 
 import numpy as np
 
-from ..core.plan import Planner, PlanSpec
-from ..core.selection import PlanCache
+from ..core.plan import Planner, PlanSpec, ResolvedPlan
+from ..core.selection import KernelChoice, PlanCache
 from ..core.tiledb import TileDB
 from ..hw.spec import GPUSpec
 from ..models.workloads import Workload
@@ -37,6 +38,7 @@ from ..sparsity.activation import relu_activation_mask
 from ..sparsity.attention import MaskStats, representative_attention_mask
 from ..sparsity.moe import merge_routing, routing_sample_mask, routing_signature
 from .engine import RunReport, run_transformer
+from .resilience import FaultInjector, ResilienceConfig
 from .session import make_replica_backends
 
 
@@ -48,6 +50,10 @@ class InferenceRequest:
     workload: Workload
     #: Arrival time on the engine's simulated clock (microseconds).
     arrival_us: float = 0.0
+    #: SLO budget from arrival (microseconds): a retry may not resurrect
+    #: this request past ``arrival_us + deadline_us``.  ``None`` falls back
+    #: to the engine's :attr:`ResilienceConfig.default_deadline_us`.
+    deadline_us: Optional[float] = None
 
     @property
     def tokens(self) -> int:
@@ -261,6 +267,13 @@ class RequestReport:
     #: execute (``batch_id == -1``) but are always reported, never silently
     #: dropped: they count toward ``failed_requests`` with ``ok=False``.
     shed: bool = False
+    #: True when retries could not complete the request within its SLO —
+    #: distinct from ``shed`` (refused at admission) and from a plain
+    #: ``ok=False`` (execution failed with retry budget spent).
+    deadline_exceeded: bool = False
+    #: Failed attempts this request's batch(es) went through before this
+    #: outcome (0 on the fault-free path).
+    retries: int = 0
 
     @property
     def latency_us(self) -> float:
@@ -291,6 +304,16 @@ class BatchReport:
     #: Plan kind (``proj`` | ``ffn-act`` | ``attention`` | ``moe-grouped``)
     #: -> whether this batch's resolve of that kind was cold.
     plan_kinds: dict = field(default_factory=dict)
+    #: Which execution attempt this report describes (0 = first dispatch;
+    #: a batch that failed over carries the attempt that succeeded).
+    attempt: int = 0
+    #: Simulated model execution time including any injected straggler
+    #: slowdown, *excluding* charged selection wall time — the quantity
+    #: health tracking compares against the placement estimate.
+    compute_us: float = 0.0
+    #: How many of this batch's plans fell back to the conservative dense
+    #: default because Algorithm 1's search failed (degraded mode).
+    degraded_plans: int = 0
 
     @property
     def size(self) -> int:
@@ -329,6 +352,13 @@ class ServingReport:
     policy: str = "drain"
     #: Per-replica utilization (continuous policy; one entry per replica).
     replica_stats: list = field(default_factory=list)
+    #: Batch attempts that were requeued after a failure (resilience mode).
+    retries: int = 0
+    #: Retries that landed on a different replica than the one that failed.
+    failovers: int = 0
+    #: ``(us, replica_id, state)`` health transitions, in observation order
+    #: (resilience mode; empty otherwise).
+    health_timeline: list = field(default_factory=list)
 
     @property
     def total_tokens(self) -> int:
@@ -349,6 +379,20 @@ class ServingReport:
     @property
     def failed_requests(self) -> int:
         return sum(1 for r in self.requests if not r.ok)
+
+    @property
+    def deadline_exceeded(self) -> int:
+        """Requests retries could not complete within their SLO (distinct
+        from shed and from plain execution failures)."""
+        return sum(
+            1 for r in self.requests if getattr(r, "deadline_exceeded", False)
+        )
+
+    @property
+    def degraded_plans(self) -> int:
+        """Plan resolves that fell back to the conservative dense default
+        because Algorithm 1's search failed, summed over batches."""
+        return sum(getattr(b, "degraded_plans", 0) for b in self.batches)
 
     @property
     def throughput_tokens_per_s(self) -> float:
@@ -473,6 +517,29 @@ class ServingReport:
                     for name, agg in sorted(by_class.items())
                 )
                 lines.append(f"device classes: {classes}")
+        if (
+            self.retries
+            or self.failovers
+            or self.deadline_exceeded
+            or self.degraded_plans
+        ):
+            lines.append(
+                f"resilience: {self.retries} retries "
+                f"({self.failovers} failovers)  "
+                f"deadline-exceeded: {self.deadline_exceeded}  "
+                f"degraded plans: {self.degraded_plans}"
+            )
+        if self.health_timeline:
+            by_replica: dict = {}
+            for us, replica_id, state in self.health_timeline:
+                by_replica.setdefault(replica_id, []).append(
+                    f"{state}@{us / 1e3:.1f}ms"
+                )
+            timeline = "  ".join(
+                f"r{rid}: {' -> '.join(steps)}"
+                for rid, steps in sorted(by_replica.items())
+            )
+            lines.append(f"health: {timeline}")
         return "\n".join(lines)
 
     def device_class_stats(self) -> dict:
@@ -554,6 +621,7 @@ class ServingEngine:
         enforce_memory: bool = False,
         plan_cache: Optional[PlanCache] = None,
         charge_selection: bool = True,
+        resilience: Optional[ResilienceConfig] = None,
     ):
         if max_batch_tokens < 1 or max_batch_size < 1:
             raise ValueError("batch budgets must be >= 1")
@@ -600,6 +668,17 @@ class ServingEngine:
         #: runs under, since measured wall time differs run to run while
         #: the analytical latency model does not.
         self.charge_selection = charge_selection
+        #: Fault-tolerance policy (retries, deadlines, circuit breaking,
+        #: degraded-mode planning); ``None`` keeps every legacy behaviour —
+        #: a worker exception fails its batch exactly as before.
+        self.resilience = resilience
+        #: Deterministic fault source, present only when the resilience
+        #: config carries a :class:`~repro.runtime.resilience.FaultSpec`.
+        self.fault_injector = (
+            FaultInjector(resilience.fault)
+            if resilience is not None and resilience.fault is not None
+            else None
+        )
         self.backend_name = backend
         self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
         # One backend per distinct device class — serving backends share
@@ -733,10 +812,19 @@ class ServingEngine:
     # ------------------------------------------------------------------
     # Admission
     # ------------------------------------------------------------------
-    def submit(self, workload: Workload, *, arrival_us: float = 0.0) -> InferenceRequest:
+    def submit(
+        self,
+        workload: Workload,
+        *,
+        arrival_us: float = 0.0,
+        deadline_us: Optional[float] = None,
+    ) -> InferenceRequest:
         """Enqueue one workload; returns its request handle."""
         request = InferenceRequest(
-            request_id=self._next_id, workload=workload, arrival_us=arrival_us
+            request_id=self._next_id,
+            workload=workload,
+            arrival_us=arrival_us,
+            deadline_us=deadline_us,
         )
         self._next_id += 1
         self._queue.append(request)
@@ -909,16 +997,72 @@ class ServingEngine:
         for spec, make_samples in self._plan_requests(
             workload, device.tiledb.cache_key
         ):
-            plans[spec.kind] = device.planner.resolve(spec, make_samples)
+            plans[spec.kind] = self._resolve_with_fallback(
+                device, spec, make_samples
+            )
         wall_us = (time.perf_counter() - start) * 1e6
         # Count hits/misses from each resolve's own provenance rather than
         # global-counter deltas: concurrent replicas resolve through the
         # same cache, and a delta would attribute their traffic to this
         # batch.  Sequentially the two accountings are identical (each
-        # resolve is exactly one hit or one miss).
+        # resolve is exactly one hit or one miss).  Degraded fallbacks are
+        # neither: no search ran and no cached plan served.
         hits = sum(1 for plan in plans.values() if plan.cache_hit)
-        misses = sum(1 for plan in plans.values() if not plan.cache_hit)
+        misses = sum(
+            1 for plan in plans.values()
+            if not plan.cache_hit and not plan.degraded
+        )
         return plans, wall_us, hits, misses
+
+    def _resolve_with_fallback(self, device, spec, make_samples):
+        """Resolve one plan, degrading to a dense default on search failure.
+
+        Without a resilience config this is exactly ``planner.resolve`` —
+        failures propagate as before.  With one, an injected or real
+        Algorithm 1 failure yields a conservative plan instead of failing
+        the batch's requests: the tile database's best *dense* tile for the
+        spec's shape, ``degraded=True``, never cached — so a later resolve
+        of the same spec retries the search (an injected per-signature
+        failure stays deterministically degraded; a real transient one
+        recovers).
+        """
+        injector = self.fault_injector
+        if (
+            injector is not None
+            and injector.search_fails(spec.kind, spec.signature)
+            and spec.cache_key() not in self.plan_cache
+        ):
+            return self._degraded_plan(device, spec)
+        try:
+            return device.planner.resolve(spec, make_samples)
+        except Exception:
+            if self.resilience is None:
+                raise
+            return self._degraded_plan(device, spec)
+
+    def _degraded_plan(self, device, spec) -> ResolvedPlan:
+        """The conservative dense fallback for a failed plan search."""
+        entry = device.tiledb.best_dense_tile(spec.m, spec.k, spec.n)
+        tiles = math.ceil(spec.m / entry.tile.tm) * math.ceil(
+            spec.n / entry.tile.tn
+        )
+        waves = math.ceil(tiles / device.spec.num_sms)
+        choice = KernelChoice(
+            tile=entry.tile,
+            pit_axis=None,
+            microtile=None,
+            est_cost_us=waves * entry.tile_cost_us(spec.k),
+            covered_sparsity=0.0,
+            search_time_us=0.0,
+        )
+        return ResolvedPlan(
+            spec=spec,
+            choice=choice,
+            cache_hit=False,
+            search_us=0.0,
+            device=device.name,
+            degraded=True,
+        )
 
     def plan_cache_keys(self) -> list:
         """Every device class's TileDB key, primary first.
@@ -998,6 +1142,7 @@ class ServingEngine:
         device: Optional[DeviceClass] = None,
         workload: Optional[Workload] = None,
         backend=None,
+        attempt: int = 0,
     ) -> tuple:
         """Plan, execute and account one closed batch at ``start_us``.
 
@@ -1033,6 +1178,14 @@ class ServingEngine:
             device = self.device_for_replica(replica_id)
         if workload is None:
             workload = merge_workloads([r.workload for r in batch])
+        injector = self.fault_injector
+        slowdown = 1.0
+        if injector is not None:
+            # Injected execution faults raise *before* planning so the plan
+            # cache evolves identically whether or not the attempt fails —
+            # a prerequisite for decision-trace equality across drivers.
+            injector.exec_fault(replica_id, batch_id, attempt, start_us)
+            slowdown = injector.slowdown(replica_id, batch_id, attempt)
         plans, residual_us, hits, misses = self._select_plans(workload, device)
         plan_kinds = {kind: plan.cold for kind, plan in plans.items()}
         selection_us = residual_us
@@ -1056,9 +1209,8 @@ class ServingEngine:
             enforce_memory=self.enforce_memory,
             devices=self.devices,
         )
-        exec_us = run.latency_ms * 1e3 + (
-            serial_us if self.charge_selection else 0.0
-        )
+        compute_us = run.latency_ms * 1e3 * slowdown
+        exec_us = compute_us + (serial_us if self.charge_selection else 0.0)
         batch_report = BatchReport(
             batch_id=batch_id,
             request_ids=[r.request_id for r in batch],
@@ -1072,6 +1224,11 @@ class ServingEngine:
             run=run,
             replica_id=replica_id,
             plan_kinds=plan_kinds,
+            attempt=attempt,
+            compute_us=compute_us,
+            degraded_plans=sum(
+                1 for plan in plans.values() if plan.degraded
+            ),
         )
         share = selection_us / len(batch)
         request_reports = [
@@ -1086,6 +1243,7 @@ class ServingEngine:
                 selection_us=share,
                 ok=run.ok,
                 error=run.error,
+                retries=attempt,
             )
             for r in batch
         ]

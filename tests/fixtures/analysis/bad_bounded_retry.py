@@ -1,0 +1,33 @@
+"""Known-bad: unbounded retry loops and entropy-seeded fault injection."""
+
+from repro.runtime.resilience import FaultInjector, FaultSpec
+
+
+def retry_forever(execute):
+    attempts = 0
+    while True:  # expect[bounded-retry]
+        attempts += 1
+        try:
+            return execute()
+        except RuntimeError:
+            continue
+
+
+def retry_forever_rebinding(execute):
+    retry_count = 0
+    while True:  # expect[bounded-retry]
+        retry_count = retry_count + 1
+        try:
+            return execute()
+        except RuntimeError:
+            continue
+
+
+def unseeded_fault_schedule():
+    spec = FaultSpec()  # expect[bounded-retry]
+    return spec
+
+
+def entropy_seeded_fault_schedule():
+    injector = FaultInjector(seed=None)  # expect[bounded-retry]
+    return injector

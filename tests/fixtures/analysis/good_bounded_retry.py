@@ -1,0 +1,36 @@
+"""Known-good: statically bounded retries and explicitly seeded faults."""
+
+from repro.runtime.resilience import FaultInjector, FaultSpec
+
+
+def retry_with_static_bound(execute, max_retries):
+    for attempt in range(max_retries + 1):
+        try:
+            return execute()
+        except RuntimeError:
+            if attempt == max_retries:
+                raise
+
+
+def retry_with_guarded_loop(execute, max_retries):
+    attempts = 0
+    while attempts <= max_retries:
+        attempts += 1
+        try:
+            return execute()
+        except RuntimeError:
+            continue
+    raise RuntimeError("retry budget exhausted")
+
+
+def event_loop(queue):
+    # A plain service loop is fine: nothing counts retries here.
+    while True:
+        item = queue.get()
+        if item is None:
+            return
+
+
+def seeded_fault_schedule(seed):
+    spec = FaultSpec(seed, transient_prob=0.1)
+    return FaultInjector(spec)

@@ -52,6 +52,7 @@ EXPECTED_RULE_IDS = {
     "replay-determinism",
     "seeded-rng",
     "frozen-spec-purity",
+    "bounded-retry",
     "pragma-justification",
 }
 
@@ -87,6 +88,7 @@ class TestFixtureCorpus:
         "bad_replay_determinism.py",
         "bad_seeded_rng.py",
         "bad_frozen_spec.py",
+        "bad_bounded_retry.py",
     ]
     GOOD = [
         "good_lock_discipline.py",
@@ -94,6 +96,7 @@ class TestFixtureCorpus:
         "good_replay_determinism.py",
         "good_seeded_rng.py",
         "good_frozen_spec.py",
+        "good_bounded_retry.py",
         "good_pragma.py",
     ]
 

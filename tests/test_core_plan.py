@@ -18,6 +18,7 @@ from repro.core import (
     PLAN_KINDS,
     KernelChoice,
     PlanCache,
+    PlanCacheLoadError,
     Planner,
     PlanSpec,
     ResolvedPlan,
@@ -249,6 +250,84 @@ class TestPlanCachePersistence:
         loaded = PlanCache.load(path)
         assert loaded.capacity == 17
         assert loaded.quantum == 0.1
+
+    def test_load_raises_load_error_on_truncated_dump(self, tiledb, tmp_path):
+        planner, _, _ = self._populated(tiledb)
+        path = tmp_path / "plans.json"
+        planner.cache.save(path, tiledb_key=tiledb.cache_key)
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])  # a torn write
+        with pytest.raises(PlanCacheLoadError, match="not valid JSON"):
+            PlanCache.load(path)
+        # The distinguished subclass still reads as ValueError to old code.
+        with pytest.raises(ValueError):
+            PlanCache.load(path)
+
+    def test_load_raises_load_error_on_missing_header(self, tmp_path):
+        path = tmp_path / "plans.json"
+        path.write_text(json.dumps({"format": PlanCache.DUMP_FORMAT}))
+        with pytest.raises(PlanCacheLoadError, match="tiledb_key"):
+            PlanCache.load(path)
+
+    def test_load_raises_load_error_on_undecodable_entry(
+        self, tiledb, tmp_path
+    ):
+        planner, _, _ = self._populated(tiledb)
+        path = tmp_path / "plans.json"
+        planner.cache.save(path, tiledb_key=tiledb.cache_key)
+        payload = json.loads(path.read_text())
+        payload["entries"][0] = {"key": None}  # no value, junk key
+        path.write_text(json.dumps(payload))
+        with pytest.raises(PlanCacheLoadError, match="entry 0"):
+            PlanCache.load(path)
+
+    def test_load_raises_load_error_on_non_object_dump(self, tmp_path):
+        path = tmp_path / "plans.json"
+        path.write_text(json.dumps([1, 2, 3]))
+        with pytest.raises(PlanCacheLoadError, match="JSON object"):
+            PlanCache.load(path)
+
+    def test_incompatible_but_wellformed_dumps_stay_plain_valueerror(
+        self, tiledb, tmp_path
+    ):
+        path = tmp_path / "plans.json"
+        path.write_text(json.dumps({"format": 99, "entries": []}))
+        with pytest.raises(ValueError) as excinfo:
+            PlanCache.load(path)
+        assert not isinstance(excinfo.value, PlanCacheLoadError)
+
+    def test_save_is_atomic_under_a_torn_write(
+        self, tiledb, tmp_path, monkeypatch
+    ):
+        planner, spec, _ = self._populated(tiledb)
+        path = tmp_path / "plans.json"
+        planner.cache.save(path, tiledb_key=tiledb.cache_key)
+        good = path.read_text()
+
+        # A dump that dies mid-write (full disk, killed process, codec
+        # bug) must leave the existing good dump untouched: save writes a
+        # temp file and renames only on success.
+        def torn_dump(payload, f, **kwargs):
+            f.write('{"format":')
+            raise OSError("no space left on device")
+
+        monkeypatch.setattr(json, "dump", torn_dump)
+        with pytest.raises(OSError, match="no space"):
+            planner.cache.save(path, tiledb_key=tiledb.cache_key)
+        monkeypatch.undo()
+
+        assert path.read_text() == good
+        assert not list(tmp_path.glob("*.tmp"))
+        revived = PlanCache.load(path, expected_tiledb_key=tiledb.cache_key)
+        assert len(revived) == 2
+
+    def test_save_replaces_an_existing_dump_in_place(self, tiledb, tmp_path):
+        planner, _, _ = self._populated(tiledb)
+        path = tmp_path / "plans.json"
+        path.write_text("stale contents from a previous run")
+        planner.cache.save(path, tiledb_key=tiledb.cache_key)
+        assert len(PlanCache.load(path)) == 2
+        assert not list(tmp_path.glob("*.tmp"))
 
 
 class TestCodec:

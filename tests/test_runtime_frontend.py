@@ -309,3 +309,87 @@ class TestLiveServing:
 
         result = asyncio.run(main())
         assert result.ok
+
+
+class TestWorkerFailure:
+    def test_crashing_worker_fails_only_its_own_batch(self):
+        """A worker exception (no resilience configured) surfaces as a
+        terminal report on exactly the crashed batch's requests; every
+        other batch serves normally and the front end drains clean."""
+        engine = make_engine(
+            replicas=2,
+            batch_window_us=2000.0,
+            max_batch_size=1,  # one request per batch: failure is isolated
+            charge_selection=True,
+        )
+        real_execute = engine.execute_batch
+
+        def crashing_execute(requests, **kwargs):
+            if kwargs.get("batch_id") == 0:
+                raise RuntimeError("rehearsed worker crash")
+            return real_execute(requests, **kwargs)
+
+        engine.execute_batch = crashing_execute
+        workloads = [bert_workload("mnli", 2, seed=i) for i in range(5)]
+
+        async def main():
+            frontend = AsyncServingFrontend(engine)
+            await frontend.start()
+            futures = [await frontend.submit(w) for w in workloads]
+            await frontend.stop()
+            assert frontend.inflight == 0
+            return frontend.report(), await asyncio.gather(*futures)
+
+        report, results = asyncio.run(asyncio.wait_for(main(), timeout=30))
+        assert len(results) == len(workloads)
+        crashed = [r for r in results if not r.ok]
+        assert len(crashed) == 1
+        assert crashed[0].batch_id == 0
+        assert "worker failure" in crashed[0].error
+        assert "rehearsed worker crash" in crashed[0].error
+        assert not crashed[0].shed
+        served = [r for r in results if r.ok]
+        assert len(served) == len(workloads) - 1
+        # The crashed batch never produced a batch report.
+        assert sorted(b.batch_id for b in report.batches) == [1, 2, 3, 4]
+        assert report.failed_requests == 1
+
+
+class TestShutdownWhileBlocked:
+    def test_blocked_submitters_are_released_on_stop(self):
+        """stop() must never strand a submitter awaiting capacity: blocked
+        callers resolve to refused (shed-style) reports, admitted requests
+        still complete."""
+        engine = make_engine(
+            replicas=2,
+            batch_window_us=500000.0,  # batches stay open: capacity never
+            max_batch_size=64,  # recycles, so late submitters block forever
+            charge_selection=True,
+        )
+        workloads = [bert_workload("mnli", 2, seed=i) for i in range(5)]
+
+        async def main():
+            frontend = AsyncServingFrontend(
+                engine, max_queue_depth=2, overload="block"
+            )
+            await frontend.start()
+            admitted = [await frontend.submit(w) for w in workloads[:2]]
+            blocked = [
+                asyncio.create_task(frontend.submit(w))
+                for w in workloads[2:]
+            ]
+            await asyncio.sleep(0.05)  # let every submitter reach the wait
+            assert all(not task.done() for task in blocked)
+            await frontend.stop()
+            released = await asyncio.gather(*blocked)
+            results = await asyncio.gather(*admitted, *released)
+            return frontend.report(), results
+
+        report, results = asyncio.run(asyncio.wait_for(main(), timeout=30))
+        assert len(results) == len(workloads)
+        completed = [r for r in results if r.ok]
+        refused = [r for r in results if r.shed]
+        assert len(completed) == 2  # the admitted requests still served
+        assert len(refused) == 3
+        assert all("shutdown" in r.error for r in refused)
+        assert len(report.requests) == len(workloads)
