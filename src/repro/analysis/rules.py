@@ -16,6 +16,9 @@ catalog with examples):
   ``KernelChoice`` / ``ResolvedPlan`` instances outside construction.
 * ``bounded-retry`` — retry loops carry a static attempt bound, and
   fault-injection randomness always takes an explicit seed.
+* ``transport-hygiene`` — only plan-codec-serializable payloads cross
+  the worker boundary (no lambdas, locks, backends, engines in channel
+  sends), and heartbeat intervals flow from config, never literals.
 * ``pragma-justification`` — every suppression pragma carries a reason
   and silences something real.
 """
@@ -781,6 +784,183 @@ def check_bounded_retry(corpus):
                         )
                     )
     return findings
+
+
+# ----------------------------------------------------------------------
+# transport-hygiene
+# ----------------------------------------------------------------------
+#: A receiver whose attribute chain smells like a transport endpoint.
+_TRANSPORT_RECEIVER = re.compile(r"(?i)(transport|channel|chan\b|chan_|pipe)")
+#: Methods that put a payload on the wire.
+_TRANSPORT_SEND_METHODS = frozenset(
+    {"send", "send_message", "broadcast", "request"}
+)
+#: Identifiers that name things the plan codec cannot (and must not)
+#: serialize: live handles, not data.
+_UNSERIALIZABLE_NAME = re.compile(
+    r"(?i)(backend|planner|tiledb|lock|thread|socket|executor|engine)"
+)
+_HEARTBEAT_NAME = re.compile(r"(?i)heartbeat")
+
+
+def _attr_segments(node) -> list:
+    """Name segments of a ``a.b.c``-style receiver chain, if any."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    return parts
+
+
+def _is_numeric_literal(node) -> bool:
+    return (
+        isinstance(node, ast.Constant)
+        and isinstance(node.value, (int, float))
+        and not isinstance(node.value, bool)
+    )
+
+
+@rule(
+    "transport-hygiene",
+    "Only codec-serializable payloads cross the worker boundary; "
+    "heartbeat intervals come from config, never literals",
+)
+def check_transport_hygiene(corpus):
+    """Two wire-protocol invariants the cluster subsystem rests on.
+
+    A channel ``send`` whose payload expression mentions a live handle —
+    a backend, engine, lock, thread, socket — or embeds a lambda is
+    smuggling process state across the boundary; only data the plan codec
+    round-trips may travel (build messages with the ``codec`` helpers).
+    And a heartbeat interval spelled as a numeric literal at a call site
+    (or assigned onto a ``heartbeat*`` attribute) drifts from the cluster
+    config the liveness monitor times against; intervals must flow from
+    configuration.
+    """
+    findings: dict = {}
+
+    def flag(module, line, message, hint):
+        # One finding per line: a payload subtree may trip several name
+        # patterns, but the defect (and the fix) is the send itself.
+        key = (module.path, line)
+        if key not in findings:
+            findings[key] = Finding(
+                rule="transport-hygiene",
+                path=module.path,
+                line=line,
+                message=message,
+                hint=hint,
+            )
+
+    for module in corpus:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and _HEARTBEAT_NAME.search(target.attr)
+                        and _is_numeric_literal(node.value)
+                    ):
+                        flag(
+                            module,
+                            node.lineno,
+                            (
+                                f"heartbeat interval `{target.attr}` "
+                                f"assigned a numeric literal"
+                            ),
+                            (
+                                "heartbeat cadence comes from the cluster "
+                                "config (ClusterConfig / WorkerConfig), "
+                                "never a call-site literal"
+                            ),
+                        )
+                continue
+            if not isinstance(node, ast.Call):
+                continue
+            for kw in node.keywords:
+                if (
+                    kw.arg is not None
+                    and _HEARTBEAT_NAME.search(kw.arg)
+                    and _is_numeric_literal(kw.value)
+                ):
+                    flag(
+                        module,
+                        node.lineno,
+                        (
+                            f"heartbeat interval `{kw.arg}=` passed as a "
+                            f"numeric literal"
+                        ),
+                        (
+                            "thread the interval from configuration so "
+                            "the liveness monitor and the worker agree "
+                            "on one cadence"
+                        ),
+                    )
+            func = node.func
+            if (
+                not isinstance(func, ast.Attribute)
+                or func.attr not in _TRANSPORT_SEND_METHODS
+            ):
+                continue
+            segments = _attr_segments(func.value)
+            if not any(_TRANSPORT_RECEIVER.search(s) for s in segments):
+                continue
+            payloads = [
+                *node.args,
+                *(kw.value for kw in node.keywords),
+            ]
+            for payload in payloads:
+                for sub in ast.walk(payload):
+                    if isinstance(sub, ast.Lambda):
+                        flag(
+                            module,
+                            node.lineno,
+                            (
+                                f"lambda in a `.{func.attr}(...)` payload: "
+                                f"functions cannot cross the worker "
+                                f"boundary"
+                            ),
+                            (
+                                "send data the plan codec round-trips; "
+                                "behaviour lives in the worker, not the "
+                                "message"
+                            ),
+                        )
+                    elif isinstance(
+                        sub, ast.Name
+                    ) and _UNSERIALIZABLE_NAME.search(sub.id):
+                        flag(
+                            module,
+                            node.lineno,
+                            (
+                                f"`{sub.id}` in a `.{func.attr}(...)` "
+                                f"payload: live handles do not cross the "
+                                f"worker boundary"
+                            ),
+                            (
+                                "extract the serializable fields and build "
+                                "the message with the codec helpers"
+                            ),
+                        )
+                    elif isinstance(
+                        sub, ast.Attribute
+                    ) and _UNSERIALIZABLE_NAME.search(sub.attr):
+                        flag(
+                            module,
+                            node.lineno,
+                            (
+                                f"`.{sub.attr}` in a `.{func.attr}(...)` "
+                                f"payload: live handles do not cross the "
+                                f"worker boundary"
+                            ),
+                            (
+                                "extract the serializable fields and build "
+                                "the message with the codec helpers"
+                            ),
+                        )
+    return sorted(findings.values(), key=lambda f: (f.path, f.line))
 
 
 # ----------------------------------------------------------------------

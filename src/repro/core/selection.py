@@ -15,6 +15,7 @@ avoiding redundant passes over the samples.
 from __future__ import annotations
 
 import itertools
+import os
 import threading
 import time
 import zlib
@@ -346,6 +347,30 @@ def sparsity_signature(sparsity_samples, *, quantum: float = SIGNATURE_QUANTUM):
 #: Process-wide shared plan caches by name — see :meth:`PlanCache.shared`.
 _SHARED_PLAN_CACHES: dict = {}
 _SHARED_PLAN_CACHES_LOCK = make_lock("shared_plan_caches", reentrant=False)
+_SHARED_PLAN_CACHES_PID = os.getpid()
+
+
+def _reset_shared_after_fork() -> None:
+    """Drop the registry when the pid changes (i.e. after a fork).
+
+    A forked worker process inherits the parent's module-level registry by
+    memory copy, so without this guard ``PlanCache.shared()`` in the child
+    would silently alias the *parent's* cache objects — sharing stats and
+    LRU state that the cluster layer expects to be per-process and synced
+    explicitly over the transport.  Runs lock-free on purpose — the
+    inherited lock is unusable in the child (see the pragma below).
+    """
+    global _SHARED_PLAN_CACHES_PID, _SHARED_PLAN_CACHES
+    global _SHARED_PLAN_CACHES_LOCK
+    if os.getpid() == _SHARED_PLAN_CACHES_PID:
+        return
+    _SHARED_PLAN_CACHES_PID = os.getpid()
+    # pit: allow[lock-discipline] - post-fork reset runs before the child
+    # spawns any thread, and the inherited lock may be held forever by a
+    # parent thread that does not exist in the child; rebuilding both the
+    # registry and its lock is the only safe order here.
+    _SHARED_PLAN_CACHES = {}
+    _SHARED_PLAN_CACHES_LOCK = make_lock("shared_plan_caches", reentrant=False)
 
 #: Default shard count for new caches.  Eight shards keep bookkeeping
 #: contention negligible for the replica counts the serving stack runs
@@ -525,8 +550,10 @@ class PlanCache:
         with different values for the same name raises rather than silently
         handing back a cache with other parameters.  Registry access is
         serialized — concurrent first calls from the front end's workers
-        observe exactly one instance.
+        observe exactly one instance.  Fork-aware: a forked child gets a
+        fresh registry instead of aliasing its parent's caches.
         """
+        _reset_shared_after_fork()
         with _SHARED_PLAN_CACHES_LOCK:
             cache = _SHARED_PLAN_CACHES.get(name)
             if cache is None:
@@ -549,6 +576,7 @@ class PlanCache:
     @staticmethod
     def clear_shared() -> None:
         """Drop the shared instances (tests that vary cache parameters)."""
+        _reset_shared_after_fork()
         with _SHARED_PLAN_CACHES_LOCK:
             _SHARED_PLAN_CACHES.clear()
 
@@ -596,6 +624,23 @@ class PlanCache:
             ):
                 shard.entries.popitem(last=False)
                 shard.evictions += 1
+
+    def entries(self):
+        """Snapshot of ``(key, value)`` pairs in global LRU order.
+
+        Sequential per-shard locking (never nested), same as ``__len__``:
+        the stamps let the per-shard slices merge into one oldest-first
+        order without any cross-shard lock.  This is the in-memory analogue
+        of :meth:`save` — the cluster layer uses it to seed a new worker
+        process with everything the host already knows.
+        """
+        stamped = []
+        for s in self._shard_list:
+            with s.lock:
+                for key, (value, stamp) in s.entries.items():
+                    stamped.append((stamp, key, value))
+        stamped.sort(key=lambda item: item[0])
+        return [(key, value) for _, key, value in stamped]
 
     def get_or_compute(self, key, compute):
         """Single-flight lookup-or-search; returns ``(value, hit)``.

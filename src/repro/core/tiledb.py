@@ -16,6 +16,7 @@ needs:
 from __future__ import annotations
 
 import math
+import os
 from dataclasses import dataclass
 
 from ..analysis.runtime_checks import make_lock
@@ -46,6 +47,26 @@ class TileEntry:
 #: :meth:`TileDB.shared`.
 _INSTANCE_CACHE: dict = {}
 _INSTANCE_CACHE_LOCK = make_lock("instance_cache", reentrant=False)
+_INSTANCE_CACHE_PID = os.getpid()
+
+
+def _reset_shared_after_fork() -> None:
+    """Drop the registry when the pid changes (i.e. after a fork).
+
+    Same contract as ``selection._reset_shared_after_fork``: a forked
+    worker must profile and own its *own* tile databases rather than
+    silently aliasing the parent's, and the inherited lock may be held by
+    a parent thread that does not exist in the child.
+    """
+    global _INSTANCE_CACHE_PID, _INSTANCE_CACHE, _INSTANCE_CACHE_LOCK
+    if os.getpid() == _INSTANCE_CACHE_PID:
+        return
+    _INSTANCE_CACHE_PID = os.getpid()
+    # pit: allow[lock-discipline] - post-fork reset runs before the child
+    # spawns any thread; the inherited lock is unusable, so the registry
+    # and its lock are rebuilt together.
+    _INSTANCE_CACHE = {}
+    _INSTANCE_CACHE_LOCK = make_lock("instance_cache", reentrant=False)
 
 
 class TileDB:
@@ -101,6 +122,7 @@ class TileDB:
         the live front end constructs per-worker backends concurrently, and
         all of them must observe one profiled instance.
         """
+        _reset_shared_after_fork()
         key = (spec, dtype, tensor_core, max_tiles)
         with _INSTANCE_CACHE_LOCK:
             if key not in _INSTANCE_CACHE:
@@ -112,6 +134,7 @@ class TileDB:
     @staticmethod
     def clear_shared() -> None:
         """Drop the shared instances (tests that vary spec parameters)."""
+        _reset_shared_after_fork()
         with _INSTANCE_CACHE_LOCK:
             _INSTANCE_CACHE.clear()
 

@@ -1,0 +1,26 @@
+"""Known-good: codec-built payloads and config-driven heartbeat cadence."""
+
+
+def dispatch(data_channel, codec_message):
+    data_channel.send(codec_message)
+
+
+def broadcast_delta(data_channel, entries):
+    payload = {"type": "cache-delta", "entries": entries, "released": []}
+    data_channel.send(payload)
+
+
+def spawn_with_config_cadence(spawn_worker, cluster_config):
+    return spawn_worker(
+        replica_id=0,
+        heartbeat_interval_s=cluster_config.heartbeat_interval_s,
+    )
+
+
+class Worker:
+    def __init__(self, config):
+        self.config = config
+        self.heartbeat_interval_s = config.heartbeat_interval_s
+
+    def beat(self, control_channel, sequence):
+        control_channel.send({"type": "heartbeat", "seq": sequence})

@@ -53,6 +53,7 @@ EXPECTED_RULE_IDS = {
     "seeded-rng",
     "frozen-spec-purity",
     "bounded-retry",
+    "transport-hygiene",
     "pragma-justification",
 }
 
@@ -89,6 +90,7 @@ class TestFixtureCorpus:
         "bad_seeded_rng.py",
         "bad_frozen_spec.py",
         "bad_bounded_retry.py",
+        "bad_transport_hygiene.py",
     ]
     GOOD = [
         "good_lock_discipline.py",
@@ -97,6 +99,7 @@ class TestFixtureCorpus:
         "good_seeded_rng.py",
         "good_frozen_spec.py",
         "good_bounded_retry.py",
+        "good_transport_hygiene.py",
         "good_pragma.py",
     ]
 
