@@ -61,6 +61,12 @@ def test_fig15_sparse_training(benchmark, print_table, block):
         assert pit.latency_ms < pt.latency_ms
         assert pit.latency_ms < pts.latency_ms
         assert pit.mem_gib <= pt.mem_gib
+        # The training path now resolves through Planner.resolve: each
+        # figure point pays one cold full-TileDB search per matmul family
+        # (attn/ffn1/ffn2) and reports it as provenance.
+        assert pit.plan_misses == 3 and pit.plan_hits == 0
+        assert pit.search_us > 0
+        assert pt.plan_misses == 0 and pts.plan_misses == 0
         if block == (32, 1) and sparsity <= 0.94:
             # The 32x32 block cover is nearly dense: PyTorch-S loses to
             # plain dense PyTorch.

@@ -17,14 +17,20 @@ def cell(report) -> str:
     )
 
 
-def lineup_rows(configs, names, spec, dtype, *, mode="inference", devices=1):
+def lineup_rows(configs, names, spec, dtype, *, mode="inference", devices=1,
+                plan_cache=None):
     """Run each (label, workload) against the lineup; returns printable rows
-    and {label: {backend: speedup-over-PIT}}."""
+    and {label: {backend: speedup-over-PIT}}.
+
+    ``plan_cache`` is threaded to :func:`run_lineup`, so a figure sweeping
+    several model sizes resolves shared plan traffic once across the whole
+    sweep instead of once per configuration."""
     rows = []
     speedups = {}
     for label, workload in configs:
         reports = run_lineup(
-            workload, names, spec, dtype, mode=mode, devices=devices
+            workload, names, spec, dtype, mode=mode, devices=devices,
+            plan_cache=plan_cache,
         )
         by_name = {r.backend: r for r in reports}
         pit = by_name["PIT"]

@@ -534,7 +534,9 @@ def check_seeded_rng(corpus):
 # ----------------------------------------------------------------------
 # frozen-spec-purity
 # ----------------------------------------------------------------------
-_FROZEN_CLASSES = frozenset({"PlanSpec", "KernelChoice", "ResolvedPlan"})
+_FROZEN_CLASSES = frozenset(
+    {"PlanSpec", "KernelChoice", "PermutedChoice", "ResolvedPlan"}
+)
 #: Factory methods whose return value is a frozen plan object.
 _FROZEN_FACTORIES = {"make_spec": "PlanSpec", "resolve": "ResolvedPlan"}
 

@@ -23,7 +23,9 @@ import numpy as np
 
 from ..core.cover import CoverCache
 from ..core.detector import index_construction_time_us
-from ..core.plan import Planner, PlanSpec
+from ..core.kernels import kernel_from_choice
+from ..core.plan import Planner, PlanSpec, ResolvedPlan
+from ..core.selection import PermutedChoice, PlanCache
 from ..hw.costmodel import elementwise_time_us
 from ..hw.memtracker import MemoryTracker
 from ..hw.spec import dtype_bytes
@@ -124,6 +126,93 @@ class PITBackend(ModelBackend):
         return [
             ExecReport(op=label, latency_us=latency + detector, convert_us=detector)
         ]
+
+    # ------------------------------------------------------------------
+    # Training path: weight-sparse / nm-sparse plans through the Planner
+    # ------------------------------------------------------------------
+    def _training_planner(self) -> Planner:
+        """The planner the training path resolves against.
+
+        Training always plans (that is the point of the unification); when
+        no shared :class:`PlanCache` was supplied, a private one memoizes
+        within this backend's lifetime so repeated pruning steps still
+        warm-start.
+        """
+        if self.planner is None:
+            self.plan_cache = PlanCache()
+            self.planner = Planner(self.tiledb, self.plan_cache)
+        return self.planner
+
+    def weight_sparse_plan(
+        self,
+        mask_samples,
+        m: int,
+        k: int,
+        n: int,
+        *,
+        pattern: tuple = (),
+        permutation: tuple = (),
+    ) -> ResolvedPlan:
+        """Resolve the plan for a weight-masked matmul ``X[m,k] @ W[k,n]``.
+
+        ``mask_samples`` are boolean ``[k, n]`` masks of W.  An empty
+        ``pattern`` names the unstructured ``weight-sparse`` kind (iterative
+        magnitude pruning); a ``(n, m)`` pattern names ``nm-sparse``, whose
+        search composes channel permutations with the structured projection.
+        The full Algorithm 1 search runs only on a miss — drifting masks
+        with the same quantized signature replay the cached plan.
+        """
+        planner = self._training_planner()
+        kind = "nm-sparse" if pattern else "weight-sparse"
+        spec = planner.make_spec(
+            kind, mask_samples, m, k, n,
+            sparse_operand="B", pattern=pattern, permutation=permutation,
+        )
+        return planner.resolve(
+            spec, lambda: [np.asarray(s, dtype=bool) for s in mask_samples]
+        )
+
+    def weight_sparse_matmul_us(
+        self, resolved: ResolvedPlan, mask, m: int, *, cover=None
+    ) -> float:
+        """Price one weight-masked matmul under an already-resolved plan.
+
+        A cold plan's estimate *is* the price — Algorithm 1 just scored this
+        very mask, so re-estimating would duplicate the cover pass.  A warm
+        plan replays the cached kernel (and, for nm-sparse, the cached
+        channel permutation + N:M projection) against the current mask;
+        pass ``cover`` (a :class:`CoverCache` of ``mask``) to reuse an
+        existing pyramid on that path.
+        """
+        if resolved.cold:
+            return resolved.choice.est_cost_us
+        choice = resolved.choice
+        if isinstance(choice, PermutedChoice):
+            if choice.is_dense_fallback:
+                choice = choice.choice
+            else:
+                from ..sparsity.masks import nm_prune_mask
+
+                projected = np.asarray(mask, dtype=bool)
+                if choice.permutation:
+                    projected = projected[np.asarray(choice.permutation), :]
+                projected = nm_prune_mask(projected, *choice.pattern, axis=0)
+                kern = kernel_from_choice(
+                    choice.choice, self.spec, self.dtype,
+                    sparse_operand="B", tensor_core=self.tensor_core,
+                )
+                return kern.estimate_us(projected, m)
+        if choice.is_dense_fallback:
+            kern = kernel_from_choice(
+                choice, self.spec, self.dtype, tensor_core=self.tensor_core
+            )
+            k, n = mask.shape
+            return kern.estimate_us(m, k, n)
+        kern = kernel_from_choice(
+            choice, self.spec, self.dtype,
+            sparse_operand="B", tensor_core=self.tensor_core,
+        )
+        return kern.estimate_us(cover if cover is not None else mask, m)
 
     # ------------------------------------------------------------------
     def _act_sparse_workload(

@@ -197,6 +197,14 @@ class CoverCache:
         self._grids: dict = {}
         self._stats: dict = {}
 
+    @property
+    def shape(self) -> tuple:
+        """Shape of the wrapped mask — a cache substitutes for its mask
+        anywhere only the shape and the cover grids are consulted (e.g.
+        :meth:`SparseMatmulKernel.estimate_us`), so one pyramid can price
+        the same mask through several backends without rebuilding."""
+        return self.mask.shape
+
     def grid(self, microtile_shape: tuple, *, transposed: bool = False) -> np.ndarray:
         key = (tuple(microtile_shape), transposed)
         got = self._grids.get(key)

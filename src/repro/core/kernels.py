@@ -106,6 +106,28 @@ def choice_from_json(data: dict):
     )
 
 
+def permuted_choice_to_json(choice) -> dict:
+    """Encode a :class:`~repro.core.selection.PermutedChoice` — an nm-sparse
+    plan — as plain JSON data.  The concrete winning permutation is part of
+    the artifact: a revived plan replays the channel order bit-for-bit."""
+    return {
+        "choice": choice_to_json(choice.choice),
+        "permutation": list(choice.permutation),
+        "pattern": list(choice.pattern),
+    }
+
+
+def permuted_choice_from_json(data: dict):
+    """Inverse of :func:`permuted_choice_to_json`."""
+    from .selection import PermutedChoice  # lazy: kernels stays import-light
+
+    return PermutedChoice(
+        choice=choice_from_json(data["choice"]),
+        permutation=tuple(data["permutation"]),
+        pattern=tuple(data["pattern"]),
+    )
+
+
 class DenseMatmulKernel:
     """The dense fallback: no rearrangement, every tile executes."""
 

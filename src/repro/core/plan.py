@@ -42,19 +42,38 @@ from .kernels import (
     choice_to_json,
     microtile_from_json,
     microtile_to_json,
+    permuted_choice_from_json,
+    permuted_choice_to_json,
     tile_from_json,
     tile_to_json,
 )
 from .microtile import MicroTile
-from .selection import KernelChoice, PlanCache, kernel_selection, sparsity_signature
+from .selection import (
+    KernelChoice,
+    PermutedChoice,
+    PlanCache,
+    kernel_selection,
+    nm_kernel_selection,
+    sparsity_signature,
+)
 from .tiledb import TileDB
 
-#: The op kinds a serving-path plan can describe.  ``proj`` is the token
-#: gather projection (m-axis over padded rows), ``ffn-act`` the post-ReLU
+#: The op kinds a plan can describe.  ``proj`` is the token gather
+#: projection (m-axis over padded rows), ``ffn-act`` the post-ReLU
 #: activation-sparse second FFN matmul (k-axis), ``attention`` the dynamic
 #: attention-mask cover, and ``moe-grouped`` the grouped expert dispatch of
-#: a merged routing table.
-PLAN_KINDS = ("proj", "ffn-act", "attention", "moe-grouped")
+#: a merged routing table.  The training path adds ``weight-sparse`` (the
+#: mask lives on the weight operand B — iterative magnitude pruning's
+#: drifting masks) and ``nm-sparse`` (operand-B N:M structured sparsity
+#: whose plan includes a channel-permutation choice).
+PLAN_KINDS = (
+    "proj",
+    "ffn-act",
+    "attention",
+    "moe-grouped",
+    "weight-sparse",
+    "nm-sparse",
+)
 
 
 # ----------------------------------------------------------------------
@@ -82,6 +101,8 @@ def encode_value(obj):
         return {"__microtile__": microtile_to_json(obj)}
     if isinstance(obj, KernelChoice):
         return {"__choice__": choice_to_json(obj)}
+    if isinstance(obj, PermutedChoice):
+        return {"__permchoice__": permuted_choice_to_json(obj)}
     if isinstance(obj, PlanSpec):
         return {"__planspec__": obj.to_json()}
     raise TypeError(f"cannot serialize {type(obj).__name__} into a plan dump")
@@ -104,6 +125,8 @@ def decode_value(data):
             return microtile_from_json(data["__microtile__"])
         if "__choice__" in data:
             return choice_from_json(data["__choice__"])
+        if "__permchoice__" in data:
+            return permuted_choice_from_json(data["__permchoice__"])
         if "__planspec__" in data:
             return PlanSpec.from_json(data["__planspec__"])
     raise TypeError(f"cannot decode {data!r} from a plan dump")
@@ -143,6 +166,17 @@ class PlanSpec:
     #: against; plans are only valid for equal keys.
     tiledb_key: tuple = ()
     include_dense_fallback: bool = True
+    #: ``nm-sparse`` only: the (n, m) structured pattern — keep ``n`` of
+    #: every aligned ``m``-group along the weight's k-axis.  Empty for
+    #: every other kind.
+    pattern: tuple = ()
+    #: ``nm-sparse`` only: the channel-permutation search *policy* — ``()``
+    #: for the deterministic candidates (identity / density-sort / striped)
+    #: or ``("learned", count, seed)`` to add seeded learned-shuffle
+    #: candidates.  The winning *concrete* permutation lives in the cached
+    #: :class:`~repro.core.selection.PermutedChoice`, not here: the spec
+    #: names the search, the plan records its outcome.
+    permutation: tuple = ()
 
     def __post_init__(self) -> None:
         if self.kind not in PLAN_KINDS:
@@ -161,6 +195,40 @@ class PlanSpec:
         # caller passed a list or a tuple.
         object.__setattr__(self, "signature", _freeze(self.signature))
         object.__setattr__(self, "tiledb_key", _freeze(self.tiledb_key))
+        object.__setattr__(self, "pattern", _freeze(self.pattern))
+        object.__setattr__(self, "permutation", _freeze(self.permutation))
+        if self.kind in ("weight-sparse", "nm-sparse"):
+            if self.sparse_operand != "B":
+                raise ValueError(
+                    f"{self.kind} plans put the mask on the weight: "
+                    f"sparse_operand must be 'B', got {self.sparse_operand!r}"
+                )
+        if self.kind == "nm-sparse":
+            if len(self.pattern) != 2:
+                raise ValueError(
+                    f"nm-sparse needs an (n, m) pattern, got {self.pattern!r}"
+                )
+            nn, mm = self.pattern
+            if not 1 <= nn <= mm:
+                raise ValueError(f"invalid N:M pattern {self.pattern!r}")
+            if self.k % mm:
+                raise ValueError(
+                    f"k={self.k} not divisible by N:M group size {mm}"
+                )
+            if self.permutation and (
+                len(self.permutation) != 3
+                or self.permutation[0] != "learned"
+            ):
+                raise ValueError(
+                    f"nm-sparse permutation policy must be () or "
+                    f"('learned', count, seed), got {self.permutation!r}"
+                )
+        else:
+            if self.pattern or self.permutation:
+                raise ValueError(
+                    f"pattern/permutation are nm-sparse-only fields, "
+                    f"got them on kind {self.kind!r}"
+                )
 
     @property
     def sample_shape(self) -> tuple:
@@ -172,8 +240,14 @@ class PlanSpec:
 
         Stable across processes: every component is a primitive, a tuple, or
         a frozen value-compared dataclass (:class:`GPUSpec`).
+
+        Kinds without pattern/permutation keep the original 9-tuple layout
+        (pre-existing dumps and shard routing stay valid); nm-sparse emits
+        an 11-tuple with the two extra fields ahead of the tiledb key — the
+        key stays *last* so :meth:`PlanCache._embedded_tiledb_key` finds it
+        in either layout.
         """
-        return (
+        head = (
             "plan",
             self.kind,
             self.m,
@@ -182,11 +256,13 @@ class PlanSpec:
             self.sparse_operand,
             self.signature,
             self.include_dense_fallback,
-            self.tiledb_key,
         )
+        if self.pattern or self.permutation:
+            head = head + (self.pattern, self.permutation)
+        return head + (self.tiledb_key,)
 
     def to_json(self) -> dict:
-        return {
+        data = {
             "kind": self.kind,
             "m": self.m,
             "k": self.k,
@@ -196,6 +272,10 @@ class PlanSpec:
             "tiledb_key": encode_value(self.tiledb_key),
             "include_dense_fallback": self.include_dense_fallback,
         }
+        if self.pattern or self.permutation:
+            data["pattern"] = encode_value(self.pattern)
+            data["permutation"] = encode_value(self.permutation)
+        return data
 
     @classmethod
     def from_json(cls, data: dict) -> "PlanSpec":
@@ -208,6 +288,9 @@ class PlanSpec:
             signature=decode_value(data["signature"]),
             tiledb_key=decode_value(data["tiledb_key"]),
             include_dense_fallback=data["include_dense_fallback"],
+            # Absent in dumps written before the nm-sparse kind existed.
+            pattern=decode_value(data.get("pattern", [])),
+            permutation=decode_value(data.get("permutation", [])),
         )
 
     def describe(self) -> str:
@@ -271,12 +354,15 @@ class Planner:
         sparse_operand: str = "A",
         include_dense_fallback: bool = True,
         extra_signature: tuple = (),
+        pattern: tuple = (),
+        permutation: tuple = (),
     ) -> PlanSpec:
         """Build the spec for ``sparsity_samples`` of an ``[m,k,n]`` matmul.
 
         The signature is the quantized sparsity signature of the samples
         (quantized with the cache's quantum, so specs and cache agree),
         optionally prefixed with caller-provided discriminators.
+        ``pattern``/``permutation`` only apply to nm-sparse specs.
         """
         sig = sparsity_signature(sparsity_samples, quantum=self.cache.quantum)
         return PlanSpec(
@@ -288,6 +374,8 @@ class Planner:
             signature=tuple(extra_signature) + sig,
             tiledb_key=self.tiledb.cache_key,
             include_dense_fallback=include_dense_fallback,
+            pattern=pattern,
+            permutation=permutation,
         )
 
     def resolve(
@@ -320,6 +408,17 @@ class Planner:
                     f"cold resolve of {spec.describe()} needs make_samples "
                     f"(the plan is not cached and Algorithm 1 has nothing "
                     f"to search over)"
+                )
+            if spec.kind == "nm-sparse":
+                return nm_kernel_selection(
+                    make_samples(),
+                    spec.m,
+                    spec.k,
+                    spec.n,
+                    self.tiledb,
+                    pattern=spec.pattern,
+                    permutation=spec.permutation,
+                    include_dense_fallback=spec.include_dense_fallback,
                 )
             return kernel_selection(
                 make_samples(),

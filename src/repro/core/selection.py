@@ -15,6 +15,7 @@ avoiding redundant passes over the samples.
 from __future__ import annotations
 
 import itertools
+import math
 import os
 import threading
 import time
@@ -63,6 +64,60 @@ class KernelChoice:
             f"axis={self.pit_axis}, micro-tile={self.microtile}, "
             f"tile={self.tile.describe()}, est={self.est_cost_us:.1f}us"
         )
+
+
+@dataclass(frozen=True)
+class PermutedChoice:
+    """An nm-sparse plan: a kernel choice plus the channel permutation that
+    won the composed search.
+
+    PermLLM's observation is that the channel order is itself a plan-shaped
+    decision: permuting the k-axis before N:M pruning changes which weights
+    survive, and therefore the cover cost of every PIT rule.  The winning
+    *concrete* permutation is part of the cached plan value (the spec only
+    carries the search *policy*), so a warm resolve replays both the kernel
+    and the channel order without re-searching.  ``permutation == ()``
+    means identity — the search found reordering unprofitable.
+    """
+
+    choice: KernelChoice
+    #: Concrete k-axis channel order (tuple of ints); () = identity.
+    permutation: tuple
+    #: The (n, m) structured-sparsity pattern the search projected onto.
+    pattern: tuple
+
+    def __post_init__(self) -> None:
+        # Normalize sequences so equality/hashing don't depend on whether
+        # the codec (or a caller) passed lists or tuples.
+        object.__setattr__(
+            self, "permutation", tuple(int(p) for p in self.permutation)
+        )
+        object.__setattr__(self, "pattern", tuple(int(p) for p in self.pattern))
+
+    @property
+    def est_cost_us(self) -> float:
+        return self.choice.est_cost_us
+
+    @property
+    def is_dense_fallback(self) -> bool:
+        return self.choice.is_dense_fallback
+
+    @property
+    def tile(self):
+        return self.choice.tile
+
+    @property
+    def pit_axis(self):
+        return self.choice.pit_axis
+
+    @property
+    def microtile(self):
+        return self.choice.microtile
+
+    def describe(self) -> str:
+        perm = "identity" if not self.permutation else f"{len(self.permutation)}-perm"
+        n, m = self.pattern
+        return f"{n}:{m} {perm}, {self.choice.describe()}"
 
 
 def _rule_workload_shape(rule, transposed: bool) -> tuple:
@@ -300,6 +355,227 @@ def kernel_selection(
     )
 
 
+def _eval_rules_per_sample(rules, stack: SampleStack, dense_extent: int,
+                           sparse_operand: str, tiledb: TileDB, profile_rules):
+    """Per-sample candidate costs over a stacked batch (no averaging).
+
+    The nm-sparse search stacks *permutation candidates x samples* into one
+    :class:`SampleStack` (the enumerate-all-candidates-in-one-tensor idiom),
+    so it needs every stacked entry's cost individually — averaging happens
+    per candidate, outside.  Returns ``[(rule, costs[S], covs[S]), ...]``.
+    """
+    spec, dtype = tiledb.spec, tiledb.dtype
+    transposed = sparse_operand == "B"
+    need = []
+    for rule in rules:
+        need.append(_rule_workload_shape(rule, transposed))
+        need.append(rule.microtile.shape)
+    stack.prime(need, transposed=transposed)
+
+    sample_shape = stack.sample_shape
+    num_samples = stack.num_samples
+    out = []
+    for rule in rules:
+        t0 = time.perf_counter() if profile_rules is not None else 0.0
+        wls = batched_matmul_workload(
+            stack, rule.tile, rule.pit_axis, dense_extent,
+            sparse_operand=sparse_operand,
+        )
+        cover_counts = stack.num_microtiles(
+            rule.microtile.shape, transposed=transposed
+        )
+        cover_cells = stack.grid_cells(
+            rule.microtile.shape, transposed=transposed
+        )
+        contig = max(rule.microtile.shape) * dtype_bytes(dtype)
+        costs = np.empty(num_samples)
+        covs = np.empty(num_samples)
+        for s in range(num_samples):
+            wl = wls[s]
+            detector = index_construction_time_us(
+                sample_shape, dtype, spec, wl.num_microtiles
+            )
+            costs[s] = sparse_matmul_time_us(
+                wl.total_k_steps,
+                wl.num_output_tiles,
+                rule.tile,
+                dtype,
+                spec,
+                tensor_core=tiledb.tensor_core,
+                sread_contig_bytes=contig,
+                detector_us=detector,
+            )
+            covs[s] = 1.0 - float(cover_counts[s]) / max(1, cover_cells)
+        if profile_rules is not None:
+            profile_rules.append({
+                "tile": rule.tile.describe(),
+                "pit_axis": rule.pit_axis,
+                "microtile": str(rule.microtile),
+                "eval_us": (time.perf_counter() - t0) * 1e6,
+                "mean_cost_us": float(costs.mean()),
+            })
+        out.append((rule, costs, covs))
+    return out
+
+
+def nm_permutation_candidates(samples, policy, k: int) -> list:
+    """Deterministic k-axis channel-order candidates for the nm search.
+
+    Always proposes identity (``None`` sentinel), a density sort (channels
+    ordered by total non-zeros descending — clusters live channels so N:M
+    groups keep them together), and a striped deal (density-sorted channels
+    dealt round-robin across groups — balances each m-group's live count so
+    fewer survivors are dropped).  A ``("learned", count, seed)`` policy
+    adds ``count`` explicitly seeded random shuffles, the cheap stand-in
+    for PermLLM's learned permutation.  Everything is a pure function of
+    the samples and the policy, so the winning order is cacheable.
+    """
+    counts = np.zeros(k, dtype=np.int64)
+    for s in samples:
+        counts += np.asarray(s, dtype=bool).sum(axis=1, dtype=np.int64)
+    dense_first = np.argsort(-counts, kind="stable")
+    candidates = [None, tuple(int(c) for c in dense_first)]
+    candidates.append(
+        tuple(int(c) for c in dense_first[_striped_order(k)])
+    )
+    if policy:
+        if policy[0] != "learned":
+            raise ValueError(
+                f"unknown nm permutation policy {policy[0]!r} "
+                f"(expected 'learned')"
+            )
+        _, count, seed = policy
+        rng = np.random.default_rng(int(seed))
+        for _ in range(int(count)):
+            candidates.append(tuple(int(c) for c in rng.permutation(k)))
+    return candidates
+
+
+def _striped_order(k: int) -> np.ndarray:
+    """Indices that deal ``k`` sorted positions round-robin into sqrt-ish
+    stripes, spreading the densest channels across the axis."""
+    stripes = max(2, math.isqrt(k))
+    keys = np.array([(i % stripes) * k + i // stripes for i in range(k)])
+    return np.argsort(keys, kind="stable")
+
+
+def nm_kernel_selection(
+    sparsity_samples,
+    m: int,
+    k: int,
+    n: int,
+    tiledb: TileDB,
+    *,
+    pattern: tuple,
+    permutation: tuple = (),
+    include_dense_fallback: bool = True,
+    profile: Optional[dict] = None,
+) -> PermutedChoice:
+    """Algorithm 1 composed with a channel-permutation search (nm-sparse).
+
+    For every candidate permutation of the weight's k-axis, project the
+    permuted mask onto the ``(n, m)`` structured pattern (N:M pruning keeps
+    the densest ``n`` of every aligned ``m``-group), then evaluate every
+    (tile, PIT-axis) rule over *all* candidates stacked into one
+    :class:`SampleStack` — one ``[candidates x samples, G]`` pass per rule,
+    the PR-3 batched-evaluation idiom.  The cheapest (rule, permutation)
+    pair wins; the dense fallback competes exactly as in
+    :func:`kernel_selection`.  The full tile database is searched — no
+    candidate truncation.
+    """
+    from ..sparsity.masks import nm_prune_mask
+
+    samples = [np.asarray(s, dtype=bool) for s in sparsity_samples]
+    if not samples:
+        raise ValueError("nm kernel selection needs at least one sample")
+    for s in samples:
+        if s.shape != (k, n):
+            raise ValueError(
+                f"sample shape {s.shape} != sparse operand shape {(k, n)}"
+            )
+    nn, mm = int(pattern[0]), int(pattern[1])
+    if not 1 <= nn <= mm:
+        raise ValueError(f"invalid N:M pattern {pattern!r}")
+    if k % mm:
+        raise ValueError(f"k={k} not divisible by N:M group size {mm}")
+
+    start = time.perf_counter()
+    profile_rules = [] if profile is not None else None
+    candidates = nm_permutation_candidates(samples, permutation, k)
+    stacked = []
+    for perm in candidates:
+        for s in samples:
+            permuted = s if perm is None else s[np.asarray(perm), :]
+            stacked.append(nm_prune_mask(permuted, nn, mm, axis=0))
+
+    rules = matmul_rules(tiledb.tiles(), sparse_operand="B")
+    per_rule = _eval_rules_per_sample(
+        rules, SampleStack(stacked), m, "B", tiledb, profile_rules
+    )
+    num_samples = len(samples)
+    best_rule, best_perm_idx, best_cost, best_cov = None, 0, float("inf"), 0.0
+    for rule, costs, covs in per_rule:
+        cand_costs = costs.reshape(len(candidates), num_samples).mean(axis=1)
+        cand_covs = covs.reshape(len(candidates), num_samples).mean(axis=1)
+        idx = int(np.argmin(cand_costs))
+        if cand_costs[idx] < best_cost:
+            best_rule = rule
+            best_perm_idx = idx
+            best_cost = float(cand_costs[idx])
+            best_cov = float(cand_covs[idx])
+
+    if best_rule is None and not include_dense_fallback:
+        raise ValueError(
+            "no feasible PIT rule for the nm-sparse operand and the dense "
+            "fallback is disabled"
+        )
+
+    choice_axis = best_rule.pit_axis if best_rule is not None else None
+    choice_micro = best_rule.microtile if best_rule is not None else None
+    choice_tile = best_rule.tile if best_rule is not None else None
+    winning_perm = candidates[best_perm_idx]
+
+    if include_dense_fallback:
+        from .cover import dense_matmul_workload
+
+        dense_entry = tiledb.best_dense_tile(m, k, n)
+        dwl = dense_matmul_workload(m, k, n, dense_entry.tile)
+        dense_cost = sparse_matmul_time_us(
+            dwl.total_k_steps,
+            dwl.num_output_tiles,
+            dense_entry.tile,
+            tiledb.dtype,
+            tiledb.spec,
+            tensor_core=tiledb.tensor_core,
+        )
+        if dense_cost <= best_cost:
+            choice_axis, choice_micro = None, None
+            choice_tile, best_cost, best_cov = dense_entry.tile, dense_cost, 0.0
+            winning_perm = None  # a dense kernel has no channel order
+
+    elapsed_us = (time.perf_counter() - start) * 1e6
+    if profile is not None:
+        profile.update({
+            "num_rules": len(rules),
+            "num_samples": num_samples,
+            "num_candidates": len(candidates),
+            "rules": profile_rules,
+            "total_us": elapsed_us,
+        })
+    return PermutedChoice(
+        choice=KernelChoice(
+            tile=choice_tile,
+            pit_axis=choice_axis,
+            microtile=choice_micro,
+            est_cost_us=best_cost,
+            covered_sparsity=best_cov,
+            search_time_us=elapsed_us,
+        ),
+        permutation=winning_perm if winning_perm is not None else (),
+        pattern=(nn, mm),
+    )
+
+
 #: Default width of one sparsity-signature quantization bucket.  Masks whose
 #: density statistics agree to within one bucket share a cached plan: the
 #: selection landscape is flat at that resolution (neighbouring candidates'
@@ -502,20 +778,22 @@ class PlanCache:
     def _shard_token(key):
         """The (plan kind, signature) portion of a cache key.
 
-        Recognizes the two key layouts this process produces — PlanSpec
+        Recognizes the three key layouts this process produces — PlanSpec
         keys ``("plan", kind, m, k, n, operand, signature, fallback, db)``
-        (optionally wrapped in a ``("memo", ...)`` namespace) and the legacy
-        6-tuple ``(m, k, n, operand, (signature, fallback), db)`` — and
-        falls back to the whole key for ad-hoc entries.  A spec and its
-        memos co-shard, and so do a legacy key and its PlanSpec equivalent
-        for one traffic class, which is what makes "different traffic never
+        (optionally wrapped in a ``("memo", ...)`` namespace), the extended
+        11-tuple that nm-sparse specs emit (same prefix, then ``pattern``
+        and ``permutation`` before the db key), and the legacy 6-tuple
+        ``(m, k, n, operand, (signature, fallback), db)`` — and falls back
+        to the whole key for ad-hoc entries.  A spec and its memos
+        co-shard, and so do a legacy key and its PlanSpec equivalent for
+        one traffic class, which is what makes "different traffic never
         contends" hold.
         """
         body = key
         if isinstance(body, tuple) and body and body[0] == "memo":
             body = body[1:]
         if isinstance(body, tuple):
-            if len(body) == 9 and body[0] == "plan":
+            if len(body) in (9, 11) and body[0] == "plan":
                 return (body[1], body[6])
             if len(body) == 6 and isinstance(body[4], tuple):
                 return (None, body[4])

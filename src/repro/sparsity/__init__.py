@@ -28,6 +28,7 @@ from .masks import (
     MagnitudePruner,
     PruningSchedule,
     granular_mask,
+    nm_prune_mask,
     two_four_mask,
 )
 from .moe import Router, RoutingResult, capacity_tokens, drop_overflow
@@ -67,6 +68,7 @@ __all__ = [
     "museformer_mask_rows",
     "museformer_mask_stats",
     "museformer_summary_positions",
+    "nm_prune_mask",
     "pad_to_multiple",
     "pattern_fingerprint",
     "relu_activation_mask",

@@ -126,6 +126,31 @@ class MagnitudePruner:
             w += drift * rng.standard_normal(w.shape)
 
 
+def nm_prune_mask(scores, n: int, m: int, *, axis: int = 0) -> np.ndarray:
+    """N:M pruning: keep the ``n`` largest-score entries of every aligned
+    ``m``-group along ``axis``.
+
+    ``scores`` is a magnitude matrix (use ``np.abs(weights)``) or a boolean
+    keep-mask; zero-score entries are never kept, so projecting an existing
+    mask keeps at most ``n`` of its surviving entries per group.  Ties break
+    toward the lower index (stable sort), which makes the projection a pure
+    function of its inputs — the property the nm-sparse plan kind needs for
+    its permutation search to be cacheable.
+    """
+    if not 1 <= n <= m:
+        raise ValueError(f"need 1 <= n <= m, got {n}:{m}")
+    arr = np.moveaxis(np.asarray(scores, dtype=float), axis, 0)
+    if arr.shape[0] % m:
+        raise ValueError(
+            f"axis extent {arr.shape[0]} not divisible by group size {m}"
+        )
+    groups = arr.reshape(arr.shape[0] // m, m, *arr.shape[1:])
+    order = np.argsort(-groups, axis=1, kind="stable")
+    rank = np.argsort(order, axis=1, kind="stable")
+    keep = (rank < n).reshape(arr.shape) & (arr != 0)
+    return np.moveaxis(keep, 0, axis)
+
+
 def two_four_mask(shape: tuple, *, seed: int = 0) -> np.ndarray:
     """A strict 2:4 structured mask (every aligned 1x4 run keeps exactly 2).
 

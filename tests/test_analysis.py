@@ -89,6 +89,7 @@ class TestFixtureCorpus:
         "bad_replay_determinism.py",
         "bad_seeded_rng.py",
         "bad_frozen_spec.py",
+        "bad_nm_permutation.py",
         "bad_bounded_retry.py",
         "bad_transport_hygiene.py",
     ]
@@ -98,6 +99,7 @@ class TestFixtureCorpus:
         "good_replay_determinism.py",
         "good_seeded_rng.py",
         "good_frozen_spec.py",
+        "good_nm_permutation.py",
         "good_bounded_retry.py",
         "good_transport_hygiene.py",
         "good_pragma.py",

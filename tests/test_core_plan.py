@@ -71,7 +71,14 @@ class TestPlanSpec:
     def test_invalid_kind_rejected(self, tiledb):
         with pytest.raises(ValueError, match="kind"):
             make_spec(tiledb, kind="conv")
-        assert set(PLAN_KINDS) == {"proj", "ffn-act", "attention", "moe-grouped"}
+        assert set(PLAN_KINDS) == {
+            "proj",
+            "ffn-act",
+            "attention",
+            "moe-grouped",
+            "weight-sparse",
+            "nm-sparse",
+        }
 
     def test_invalid_dims_and_operand_rejected(self, tiledb):
         with pytest.raises(ValueError, match="dims"):
